@@ -1,0 +1,185 @@
+// Command appgen generates and inspects synthetic evaluation apps: structure
+// (screens, activities, functionalities), method universe, crash sites, and
+// a Globally-Sparse / Locally-Dense check of the ground-truth UI transition
+// graph (the property Section 4.2's Theorem 1 relies on).
+//
+// Usage:
+//
+//	appgen -app Zedge
+//	appgen -name MyApp -seed 7 -subspaces 6   # generate a custom app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"taopt/internal/app"
+	"taopt/internal/apps"
+	"taopt/internal/graph"
+	"taopt/internal/ui"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "inspect a catalog app (see cmd/taopt -list)")
+		name      = flag.String("name", "", "generate a custom app with this name")
+		seed      = flag.Int64("seed", 1, "generation seed for -name")
+		subspaces = flag.Int("subspaces", 0, "functionalities for -name (0 = default)")
+		screens   = flag.Int("screens", 0, "max screens per functionality for -name (0 = default)")
+	)
+	flag.Parse()
+
+	var aut *app.App
+	switch {
+	case *appName != "":
+		a, err := apps.Load(*appName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appgen: %v\n", err)
+			os.Exit(1)
+		}
+		aut = a
+	case *name != "":
+		spec := app.DefaultSpec(*name, *seed)
+		if *subspaces > 0 {
+			spec.Subspaces = *subspaces
+		}
+		if *screens > 0 {
+			spec.ScreensMax = *screens
+			if spec.ScreensMin > *screens {
+				spec.ScreensMin = *screens
+			}
+		}
+		aut = app.Generate(spec)
+	default:
+		aut = app.MotivatingExample()
+	}
+
+	inspect(aut)
+}
+
+func inspect(a *app.App) {
+	fmt.Printf("app:        %s %s\n", a.Name, a.Version)
+	fmt.Printf("screens:    %d in %d functionalities (incl. hub)\n", len(a.Screens), a.Subspaces)
+	fmt.Printf("methods:    %d (UI-reachable: %d)\n", a.MethodCount(), len(a.ReachableMethods()))
+	fmt.Printf("activities: %d\n", len(a.Activities()))
+	fmt.Printf("crashes:    %d planted sites\n", len(a.CrashSites))
+	fmt.Printf("login:      %v\n", a.LoginRequired)
+
+	// Screens per functionality and per activity.
+	bySub := make(map[int]int)
+	byAct := make(map[string]int)
+	for _, s := range a.Screens {
+		bySub[s.Subspace]++
+		byAct[s.Activity]++
+	}
+	subs := make([]int, 0, len(bySub))
+	for k := range bySub {
+		subs = append(subs, k)
+	}
+	sort.Ints(subs)
+	fmt.Println("\nfunctionality sizes:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, k := range subs {
+		label := fmt.Sprintf("functionality %d", k)
+		if k == 0 {
+			label = "hub"
+		}
+		fmt.Fprintf(tw, "  %s\t%d screens\n", label, bySub[k])
+	}
+	tw.Flush()
+
+	// Activities shared across functionalities (what breaks ParaAim).
+	actSubs := make(map[string]map[int]bool)
+	for _, s := range a.Screens {
+		if actSubs[s.Activity] == nil {
+			actSubs[s.Activity] = make(map[int]bool)
+		}
+		actSubs[s.Activity][s.Subspace] = true
+	}
+	shared := 0
+	for _, set := range actSubs {
+		if len(set) > 1 {
+			shared++
+		}
+	}
+	fmt.Printf("\nactivities spanning >1 functionality: %d of %d\n", shared, len(actSubs))
+
+	// Crash sites with their depth position — shallow sites fall to heavy
+	// repetition, deep ones only to sustained exploration.
+	fmt.Println("\ncrash sites:")
+	blockOf := make(map[int][]int)
+	for _, s := range a.Screens {
+		blockOf[s.Subspace] = append(blockOf[s.Subspace], int(s.ID))
+	}
+	for _, s := range a.Screens {
+		for w := range s.Widgets {
+			if s.Widgets[w].CrashSite < 0 {
+				continue
+			}
+			blk := blockOf[s.Subspace]
+			pos := 0
+			for p, id := range blk {
+				if id == int(s.ID) {
+					pos = p
+				}
+			}
+			fmt.Printf("  site %-3d functionality %-2d depth %3.0f%%  trigger %.2f\n",
+				s.Widgets[w].CrashSite, s.Subspace,
+				100*float64(pos)/float64(len(blk)), s.Widgets[w].CrashProb)
+		}
+	}
+
+	gsld(a)
+}
+
+// gsld builds the ground-truth stochastic transition graph (uniform action
+// choice) and reports internal vs cross-functionality conductance — the
+// GS-LD property of Section 4.2.
+func gsld(a *app.App) {
+	b := graph.NewBuilder()
+	sigOf := make([]ui.Signature, len(a.Screens))
+	for i := range a.Screens {
+		sigOf[i] = a.Render(app.ScreenID(i), 0).Abstract()
+	}
+	for i, s := range a.Screens {
+		for _, w := range s.Widgets {
+			if w.Target >= 0 {
+				b.Add(sigOf[i], sigOf[w.Target])
+			}
+		}
+	}
+	g := b.Graph()
+
+	// Membership per functionality.
+	members := make(map[int][]int)
+	for i, s := range a.Screens {
+		if v, ok := g.VertexOf(sigOf[i]); ok {
+			members[s.Subspace] = append(members[s.Subspace], v)
+		}
+	}
+
+	var maxCross, sumCross float64
+	pairs := 0
+	for s1, m1 := range members {
+		for s2, m2 := range members {
+			if s1 == 0 || s2 == 0 || s1 == s2 {
+				continue // the hub couples to everything by design
+			}
+			c := g.ConductanceSets(m1, m2)
+			sumCross += c
+			pairs++
+			if c > maxCross {
+				maxCross = c
+			}
+		}
+	}
+	if pairs > 0 {
+		fmt.Printf("\nGS-LD check (ground-truth graph, uniform action probabilities):\n")
+		fmt.Printf("  cross-functionality conductance: mean %.4f, max %.4f over %d ordered pairs\n",
+			sumCross/float64(pairs), maxCross, pairs)
+		fmt.Printf("  (loosely coupled subspaces need these ≈ 0; Section 4.1)\n")
+	}
+}

@@ -1,0 +1,168 @@
+// Command experiments regenerates the paper's tables and figures from
+// simulated campaigns.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything, full 18-app grid (slow)
+//	experiments -exp table4 -apps AccuWeather,Zedge
+//	experiments -exp fig5 -minutes 20    # scaled-down budgets
+//
+// Experiment names: fig3, table1, table2, fig5, fig6, table4, table5,
+// table6, single, preserve, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"taopt/internal/apps"
+	"taopt/internal/core"
+	"taopt/internal/harness"
+	"taopt/internal/report"
+	"taopt/internal/sim"
+)
+
+// gridExperiment averages coverage / crashes / UI overlap / savings over
+// several seeded campaigns and prints per-(tool, setting) deltas vs the
+// baseline. It is the calibration instrument behind EXPERIMENTS.md; the
+// paper tables come from the named experiments.
+func gridExperiment(w io.Writer, cfg harness.CampaignConfig, seeds int) error {
+	ms := harness.NewMultiSeed(cfg, seeds)
+	return ms.Render(w, []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource})
+}
+
+// ablateExperiment quantifies the design choices DESIGN.md calls out by
+// re-running TaOPT's duration-constrained mode with each one disabled or
+// reverted, on every app of the campaign.
+func ablateExperiment(w io.Writer, c *harness.Campaign) error {
+	cfg := c.Config()
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"default (calibrated)", nil},
+		{"paper 1-minute stagnation", func(cc *core.Config) { cc.Stagnation = core.PaperStagnation }},
+		{"orphans stay blocked", func(cc *core.Config) { cc.DropOrphans = true }},
+		{"no warm-up", func(cc *core.Config) { cc.WarmUp = 1 }},
+		{"no breadth guard", func(cc *core.Config) { cc.MaxSpaceFraction = 0.999 }},
+		{"no score threshold", func(cc *core.Config) { cc.Analyzer.ScoreMax = 0.999 }},
+	}
+	fmt.Fprintf(w, "\nAblations (TaOPT duration-constrained, monkey, %d apps)\n", len(c.Apps()))
+	fmt.Fprintf(w, "%-30s%12s%12s%12s\n", "variant", "coverage", "Δ vs def.", "subspaces")
+	var defCov float64
+	for _, v := range variants {
+		var cov float64
+		subs := 0
+		for _, appName := range c.Apps() {
+			aut, err := apps.Load(appName)
+			if err != nil {
+				return err
+			}
+			rc := harness.RunConfig{
+				App:       aut,
+				Tool:      "monkey",
+				Setting:   harness.TaOPTDuration,
+				Instances: cfg.Instances,
+				Duration:  cfg.Duration,
+				Seed:      cfg.Seed,
+			}
+			if v.mutate != nil {
+				cc := core.DefaultConfig(core.DurationConstrained)
+				v.mutate(&cc)
+				rc.CoreConfig = &cc
+			}
+			res, err := harness.Run(rc)
+			if err != nil {
+				return err
+			}
+			cov += float64(res.Union.Count())
+			subs += len(res.Subspaces)
+		}
+		if v.mutate == nil {
+			defCov = cov
+		}
+		delta := "-"
+		if v.mutate != nil && defCov > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(cov-defCov)/defCov)
+		}
+		fmt.Fprintf(w, "%-30s%12.0f%12s%12d\n", v.name, cov/float64(len(c.Apps())), delta, subs)
+	}
+	return nil
+}
+
+var experiments = map[string]func(io.Writer, *harness.Campaign) error{
+	"ablate":   ablateExperiment,
+	"fig3":     report.Figure3,
+	"table1":   report.Table1,
+	"table2":   report.Table2,
+	"fig5":     report.Figure5,
+	"fig6":     report.Figure6,
+	"table4":   report.Table4,
+	"table5":   report.Table5,
+	"table6":   report.Table6,
+	"single":   report.SingleLong,
+	"preserve": report.Preservation,
+	"all":      report.All,
+}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to regenerate: fig3|table1|table2|fig5|fig6|table4|table5|table6|single|preserve|ablate|all|grid")
+		seeds     = flag.Int("seeds", 1, "number of seeded campaigns for -exp grid")
+		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: all 18)")
+		toolsFlag = flag.String("tools", "", "comma-separated tool subset (default: monkey,ape,wctester)")
+		minutes   = flag.Int("minutes", 60, "wall-clock budget l_p in minutes")
+		instances = flag.Int("instances", harness.DefaultInstances, "concurrent instances d_max")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	fn, ok := experiments[*exp]
+	if !ok && *exp != "grid" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+
+	cfg := harness.CampaignConfig{
+		Instances: *instances,
+		Duration:  sim.Duration(*minutes) * sim.Duration(60e9),
+		Seed:      *seed,
+	}
+	if *appsFlag != "" {
+		cfg.Apps = splitList(*appsFlag)
+	}
+	if *toolsFlag != "" {
+		cfg.Tools = splitList(*toolsFlag)
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	if *exp == "grid" {
+		if err := gridExperiment(os.Stdout, cfg, *seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	c := harness.NewCampaign(cfg)
+	if err := fn(os.Stdout, c); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Command taopt runs one parallel-testing campaign on a synthetic evaluation
+// app with a chosen tool and parallelization setting, and prints the run's
+// headline measurements.
+//
+// Usage:
+//
+//	taopt -app Zedge -tool ape -setting taopt-duration -duration 60
+//	taopt -app demo -tool monkey -setting baseline
+//	taopt -list
+package main
+
+import (
+	"flag"
+
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"taopt/internal/app"
+	"taopt/internal/apps"
+	"taopt/internal/core"
+	"taopt/internal/export"
+	"taopt/internal/harness"
+	"taopt/internal/sim"
+	"taopt/internal/tools"
+	"taopt/internal/ui"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "demo", `evaluation app name from -list, or "demo" for the Figure 2 shopping app`)
+		tool      = flag.String("tool", "monkey", "testing tool: "+strings.Join(tools.Names(), ", "))
+		setting   = flag.String("setting", "baseline", "baseline | taopt-duration | taopt-resource | activity-partition | pats | single-long")
+		instances = flag.Int("instances", harness.DefaultInstances, "concurrent testing instances (d_max)")
+		duration  = flag.Int("duration", 60, "wall-clock budget l_p in minutes")
+		budget    = flag.Int("budget", 0, "machine-time budget in minutes (default instances × duration)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		stagMin   = flag.Float64("stagnation", 0, "override stagnation window in minutes (0 = paper default)")
+		exportTo  = flag.String("export", "", "write the full run (traces, crashes, subspaces) as JSON to this file")
+		list      = flag.Bool("list", false, "list evaluation apps and exit")
+		verbose   = flag.Bool("v", false, "print per-instance details and identified subspaces")
+	)
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "APP\tVERSION\tCATEGORY\t#INST\tLOGIN\tMETHODS")
+		for _, e := range apps.Entries() {
+			a := apps.MustLoad(e.Spec.Name)
+			login := ""
+			if e.Login {
+				login = "*"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%d\n",
+				e.Spec.Name, e.Spec.Version, e.Spec.Category, e.Spec.Downloads, login, a.MethodCount())
+		}
+		w.Flush()
+		return
+	}
+
+	var aut *app.App
+	if *appName == "demo" {
+		aut = app.MotivatingExample()
+	} else {
+		var err error
+		aut, err = apps.Load(*appName)
+		if err != nil {
+			fatalf("%v (use -list to see available apps)", err)
+		}
+	}
+
+	st, err := parseSetting(*setting)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := harness.RunConfig{
+		App:           aut,
+		Tool:          *tool,
+		Setting:       st,
+		Instances:     *instances,
+		Duration:      sim.Duration(*duration) * sim.Duration(60e9),
+		MachineBudget: sim.Duration(*budget) * sim.Duration(60e9),
+		Seed:          *seed,
+	}
+	if *stagMin > 0 {
+		mode := core.DurationConstrained
+		if st == harness.TaOPTResource {
+			mode = core.ResourceConstrained
+		}
+		cc := core.DefaultConfig(mode)
+		cc.Stagnation = sim.Duration(*stagMin * 60e9)
+		cfg.CoreConfig = &cc
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *exportTo != "" {
+		f, err := os.Create(*exportTo)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := export.FromResult(res).Write(f); err != nil {
+			fatalf("exporting run: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("exported:       %s\n", *exportTo)
+	}
+
+	fmt.Printf("app:            %s (%d methods, %d screens)\n", aut.Name, aut.MethodCount(), len(aut.Screens))
+	fmt.Printf("tool:           %s\n", *tool)
+	fmt.Printf("setting:        %s\n", st)
+	fmt.Printf("wall used:      %v\n", res.WallUsed)
+	fmt.Printf("machine used:   %v\n", res.MachineUsed)
+	fmt.Printf("instances:      %d allocations\n", len(res.Instances))
+	fmt.Printf("coverage:       %d methods (%.1f%% of universe)\n",
+		res.Union.Count(), 100*float64(res.Union.Count())/float64(aut.MethodCount()))
+	fmt.Printf("unique crashes: %d\n", res.UniqueCrashes)
+	fmt.Printf("distinct UIs:   %d (avg %.1f occurrences each)\n", len(res.UIOccurrences), res.UIOccurrenceAverage())
+	if n := len(res.Timeline); n > 0 && res.Timeline[n-1].AJS > 0 {
+		fmt.Printf("final AJS:      %.3f\n", res.Timeline[n-1].AJS)
+	}
+	if len(res.Subspaces) > 0 {
+		fmt.Printf("subspaces:      %d identified\n", len(res.Subspaces))
+	}
+	if res.CoordinatorStats != nil {
+		fmt.Printf("coordinator:    %+v\n", *res.CoordinatorStats)
+	}
+
+	if *verbose {
+		fmt.Println()
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "INSTANCE\tALLOCATED\tRELEASED\tMETHODS\tCRASHES\tTRANSITIONS")
+		for _, inst := range res.Instances {
+			fmt.Fprintf(w, "%d\t%v\t%v\t%d\t%d\t%d\n",
+				inst.ID, inst.Allocated, inst.Released, inst.Methods.Count(), inst.Crashes.Unique(), inst.Trace.Len())
+		}
+		w.Flush()
+		// Ground-truth mapping: which true functionality does each member
+		// screen belong to? (Evaluation aid only; TaOPT never sees this.)
+		truth := make(map[ui.Signature]int)
+		depthOf := make(map[ui.Signature]float64) // position fraction within its functionality
+		bySub := make(map[int][]int)
+		for _, sc := range aut.Screens {
+			bySub[sc.Subspace] = append(bySub[sc.Subspace], int(sc.ID))
+		}
+		for _, sc := range aut.Screens {
+			sig := aut.Render(sc.ID, 0).Abstract()
+			truth[sig] = sc.Subspace
+			if sc.Subspace != 0 {
+				blk := bySub[sc.Subspace]
+				for pos, id := range blk {
+					if id == int(sc.ID) {
+						depthOf[sig] = float64(pos) / float64(len(blk))
+					}
+				}
+			}
+		}
+		// Visit mass by depth decile (functionality screens only): shows
+		// how deep each setting's exploration actually gets.
+		var visits [10]int
+		for sig, n := range res.UIOccurrences {
+			d, ok := depthOf[sig]
+			if !ok {
+				continue
+			}
+			b := int(d * 10)
+			if b > 9 {
+				b = 9
+			}
+			visits[b] += n
+		}
+		fmt.Printf("depth decile visits:  %v\n", visits)
+		for _, sub := range res.Subspaces {
+			span := make(map[int]int)
+			for m := range sub.Members {
+				if gt, ok := truth[m]; ok {
+					span[gt]++
+				} else {
+					span[-1]++
+				}
+			}
+			fmt.Printf("subspace %d: entry=%v members=%d (initial %d) owner=%d found=%v span=%v\n",
+				sub.ID, sub.Entry, len(sub.Members), sub.InitialMembers, sub.Owner, sub.FoundAt, span)
+		}
+	}
+}
+
+func parseSetting(s string) (harness.Setting, error) {
+	switch s {
+	case "baseline":
+		return harness.BaselineParallel, nil
+	case "taopt-duration":
+		return harness.TaOPTDuration, nil
+	case "taopt-resource":
+		return harness.TaOPTResource, nil
+	case "activity-partition":
+		return harness.ActivityPartition, nil
+	case "single-long":
+		return harness.SingleLong, nil
+	case "pats":
+		return harness.PATSMasterSlave, nil
+	default:
+		return 0, fmt.Errorf("unknown setting %q", s)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "taopt: "+format+"\n", args...)
+	os.Exit(1)
+}

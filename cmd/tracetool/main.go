@@ -1,0 +1,156 @@
+// Command tracetool analyses exported run files (cmd/taopt -export) offline:
+// it rebuilds the UI transition graph, applies the preliminary study's
+// conservative min-conductance partition, and reports the per-subspace
+// exploration overlap and AJS statistics — the instrumentation behind
+// Section 3's study, usable on any recorded run.
+//
+// Usage:
+//
+//	taopt -app Zedge -tool ape -setting baseline -export run.json
+//	tracetool run.json
+//	tracetool -min-coupling 0.12 run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"taopt/internal/export"
+	"taopt/internal/graph"
+	"taopt/internal/metrics"
+)
+
+func main() {
+	var (
+		coupling = flag.Float64("min-coupling", graph.DefaultPartitionOptions().MaxCoupling,
+			"inter-region flow threshold below which regions stay separate")
+		minGroup = flag.Int("min-group", graph.DefaultPartitionOptions().MinGroupSize,
+			"fold groups smaller than this into their strongest neighbour")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] <run.json>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	run, err := export.Read(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("run:       %s / %s / %s (seed %d)\n", run.App, run.Tool, run.Setting, run.Seed)
+	fmt.Printf("coverage:  %d methods, %d unique crashes\n", run.Coverage, run.UniqueCrashes)
+	fmt.Printf("instances: %d\n", len(run.Instances))
+	total := 0
+	for _, inst := range run.Instances {
+		total += len(inst.Events)
+	}
+	fmt.Printf("events:    %d transitions over %d distinct screens\n", total, len(run.Screens))
+
+	analyse(run, graph.PartitionOptions{MaxCoupling: *coupling, MinGroupSize: *minGroup})
+}
+
+func analyse(run *export.Run, opts graph.PartitionOptions) {
+	logs := run.TraceLogs()
+	b := graph.NewBuilder()
+	for _, l := range logs {
+		b.AddTrace(l)
+	}
+	g := b.Graph()
+	part := graph.OfflinePartition(g, opts)
+
+	activityOf := make(map[uint64]string, len(run.Screens))
+	for _, s := range run.Screens {
+		activityOf[s.Signature] = s.Activity
+	}
+
+	// Per-instance visited vertex sets.
+	visited := make([]map[int]bool, len(logs))
+	for i, l := range logs {
+		visited[i] = make(map[int]bool)
+		for _, ev := range l.Events() {
+			if ev.Enforced {
+				continue
+			}
+			if v, ok := g.VertexOf(ev.To); ok {
+				visited[i][v] = true
+			}
+		}
+	}
+
+	fmt.Printf("\noffline UI-subspace partition (%d subspaces, MC-GPP objective %.4f):\n",
+		part.GroupCount(), graph.MaxPairwiseConductance(g, part))
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  SUBSPACE\tSCREENS\tEXPLORED BY\tDOMINANT ACTIVITY")
+	explored := make([]map[int]bool, part.GroupCount())
+	for gi, grp := range part.Groups {
+		per := make(map[int]bool)
+		need := 2
+		if len(grp) < need {
+			need = len(grp)
+		}
+		for i := range visited {
+			count := 0
+			for _, v := range grp {
+				if visited[i][v] {
+					count++
+					if count >= need {
+						break
+					}
+				}
+			}
+			if count >= need {
+				per[i] = true
+			}
+		}
+		explored[gi] = per
+		fmt.Fprintf(tw, "  %d\t%d\t%d/%d instances\t%s\n",
+			gi, len(grp), len(per), len(logs), dominantActivity(g, grp, activityOf))
+	}
+	tw.Flush()
+
+	hist := metrics.OverlapHistogram(explored, len(logs))
+	fmt.Printf("\noverlap frequency histogram (Table 1 layout):\n  ")
+	for k, v := range hist {
+		fmt.Printf("%d/%d:%d  ", k+1, len(logs), v)
+	}
+	fmt.Println()
+
+	if n := len(run.Timeline); n > 0 && run.Timeline[n-1].AJS > 0 {
+		fmt.Printf("\nfinal AJS across instances: %.3f\n", run.Timeline[n-1].AJS)
+	}
+}
+
+func dominantActivity(g *graph.Graph, grp []int, activityOf map[uint64]string) string {
+	counts := make(map[string]int)
+	for _, v := range grp {
+		counts[activityOf[uint64(g.Sigs[v])]]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) == 0 {
+		return "-"
+	}
+	return keys[0]
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracetool: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Crashhunt compares crash detection across parallelization settings on the
+// crash-heaviest evaluation apps (the paper's RQ5, Table 5) and reports every
+// distinct crash signature with where it was first seen — the analysis a
+// tester runs to triage a parallel campaign's findings.
+//
+// Crash counts are small integers and noisy per seed; see EXPERIMENTS.md's
+// "Fidelity gaps" for why this substrate does not reproduce the paper's
+// 1.2–2.1× crash improvements (coverage and overlap results do transfer).
+//
+//	go run ./examples/crashhunt
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"taopt"
+)
+
+func main() {
+	apps := []string{"Google Translate", "AbsWorkout", "Merriam-Webster"}
+	tools := []string{"monkey", "ape"}
+
+	fmt.Println("Unique crashes by setting (1h × 5 instances per run):")
+	fmt.Printf("%-20s %-10s %10s %10s %10s\n", "app", "tool", "baseline", "TaOPT(D)", "TaOPT(R)")
+
+	type key struct{ setting taopt.Setting }
+	totals := map[taopt.Setting]int{}
+	firstSeen := map[string]string{} // crash signature -> where it was first found
+
+	for _, appName := range apps {
+		app := taopt.LoadApp(appName)
+		for _, tool := range tools {
+			counts := map[taopt.Setting]int{}
+			for _, setting := range []taopt.Setting{taopt.Baseline, taopt.TaOPTDuration, taopt.TaOPTResource} {
+				res, err := taopt.Run(taopt.RunConfig{
+					App:     app,
+					Tool:    tool,
+					Setting: setting,
+					Seed:    11,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				counts[setting] = res.UniqueCrashes
+				totals[setting] += res.UniqueCrashes
+				for _, inst := range res.Instances {
+					for _, rep := range inst.Crashes.Reports() {
+						sig := string(rep.Signature)
+						if _, ok := firstSeen[sig]; !ok {
+							firstSeen[sig] = fmt.Sprintf("%s/%s/%s (instance %d at %v)",
+								appName, tool, setting, rep.Instance, rep.At)
+						}
+					}
+				}
+			}
+			fmt.Printf("%-20s %-10s %10d %10d %10d\n", appName, tool,
+				counts[taopt.Baseline], counts[taopt.TaOPTDuration], counts[taopt.TaOPTResource])
+		}
+	}
+
+	fmt.Printf("\ntotals: baseline=%d, taopt-duration=%d, taopt-resource=%d\n",
+		totals[taopt.Baseline], totals[taopt.TaOPTDuration], totals[taopt.TaOPTResource])
+
+	fmt.Printf("\n%d distinct crash signatures observed; first sightings:\n", len(firstSeen))
+	sigs := make([]string, 0, len(firstSeen))
+	for sig := range firstSeen {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		fmt.Printf("  %s ← %s\n", sig, firstSeen[sig])
+	}
+}

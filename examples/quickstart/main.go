@@ -1,0 +1,60 @@
+// Quickstart: run TaOPT's duration-constrained mode against the
+// uncoordinated baseline on one evaluation app and print what changed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taopt"
+)
+
+func main() {
+	app := taopt.LoadApp("AccuWeather")
+	fmt.Printf("App under test: %s (%d methods, %d screens, %d crash sites)\n\n",
+		app.Name, app.MethodCount(), len(app.Screens), len(app.CrashSites))
+
+	// Five uncoordinated Monkey instances for one hour each — the paper's
+	// baseline parallelization. Runs on virtual time, so this returns in
+	// seconds.
+	baseline, err := taopt.Run(taopt.RunConfig{
+		App:     app,
+		Tool:    "monkey",
+		Setting: taopt.Baseline,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same tool and budgets, coordinated by TaOPT: the trace analyzer
+	// identifies loosely coupled UI subspaces online and the coordinator
+	// dedicates each one to a single instance.
+	optimized, err := taopt.Run(taopt.RunConfig{
+		App:     app,
+		Tool:    "monkey",
+		Setting: taopt.TaOPTDuration,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "", "baseline", "TaOPT")
+	row := func(label string, b, o interface{}) { fmt.Printf("%-28s %12v %12v\n", label, b, o) }
+	row("methods covered", baseline.Union.Count(), optimized.Union.Count())
+	row("unique crashes", baseline.UniqueCrashes, optimized.UniqueCrashes)
+	row("distinct UI screens", len(baseline.UIOccurrences), len(optimized.UIOccurrences))
+	fmt.Printf("%-28s %12.1f %12.1f\n", "avg occurrences per screen",
+		baseline.UIOccurrenceAverage(), optimized.UIOccurrenceAverage())
+	row("machine time", baseline.MachineUsed, optimized.MachineUsed)
+	row("instance allocations", len(baseline.Instances), len(optimized.Instances))
+
+	fmt.Printf("\nTaOPT identified %d loosely coupled UI subspaces:\n", len(optimized.Subspaces))
+	for _, sub := range optimized.Subspaces {
+		fmt.Printf("  subspace %d: %d screens, dedicated to instance %d (found at %v)\n",
+			sub.ID, len(sub.Members), sub.Owner, sub.FoundAt)
+	}
+}

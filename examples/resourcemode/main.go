@@ -1,0 +1,73 @@
+// Resourcemode demonstrates TaOPT's resource-constrained mode (Section 5.3):
+// testing starts on a single device and the coordinator allocates more only
+// as new UI subspaces are identified, within a fixed machine-time budget —
+// the setting for teams paying per device-minute (the paper cites AWS Device
+// Farm's $0.17/device-minute).
+//
+//	go run ./examples/resourcemode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taopt"
+)
+
+const dollarsPerDeviceMinute = 0.17 // AWS Device Farm, per the paper
+
+func main() {
+	app := taopt.LoadApp("UC Browser")
+
+	baseline, err := taopt.Run(taopt.RunConfig{
+		App:     app,
+		Tool:    "ape",
+		Setting: taopt.Baseline,
+		Seed:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	budget := 5 * taopt.Hour // the same 5 machine-hours the baseline burns
+	optimized, err := taopt.Run(taopt.RunConfig{
+		App:           app,
+		Tool:          "ape",
+		Setting:       taopt.TaOPTResource,
+		MachineBudget: budget,
+		Seed:          5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Ape on %s, %v machine-time budget\n\n", app.Name, budget)
+	fmt.Printf("%-34s %14s %14s\n", "", "baseline 5×1h", "TaOPT resource")
+	fmt.Printf("%-34s %14d %14d\n", "methods covered", baseline.Union.Count(), optimized.Union.Count())
+	fmt.Printf("%-34s %14v %14v\n", "wall-clock used", baseline.WallUsed, optimized.WallUsed)
+	fmt.Printf("%-34s %14v %14v\n", "machine time used", baseline.MachineUsed.Round(taopt.Second), optimized.MachineUsed.Round(taopt.Second))
+	fmt.Printf("%-34s %14d %14d\n", "instance allocations", len(baseline.Instances), len(optimized.Instances))
+
+	// The RQ4 economics: machine time needed to match the baseline's final
+	// coverage.
+	target := baseline.Union.Count()
+	if at, ok := optimized.Timeline.MachineToReach(target); ok {
+		saved := budget - at
+		fmt.Printf("\nTaOPT matched the baseline's %d methods after %v of machine time,\n", target, at.Round(taopt.Second))
+		fmt.Printf("leaving %v unused — $%.2f of device time at AWS Device Farm rates.\n",
+			saved.Round(taopt.Second), saved.Minutes()*dollarsPerDeviceMinute)
+	} else {
+		fmt.Printf("\nTaOPT reached %d of the baseline's %d methods within the budget.\n",
+			optimized.Union.Count(), target)
+	}
+
+	fmt.Println("\nInstance ramp-up (allocation times):")
+	for _, inst := range optimized.Instances {
+		fmt.Printf("  instance %-3d %v -> %v  (%d methods)\n",
+			inst.ID, inst.Allocated.Round(taopt.Second), inst.Released.Round(taopt.Second), inst.Methods.Count())
+		if inst.ID > 8 {
+			fmt.Printf("  ... and %d more\n", len(optimized.Instances)-9)
+			break
+		}
+	}
+}

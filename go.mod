@@ -1,0 +1,3 @@
+module taopt
+
+go 1.22

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"taopt/internal/sim"
+	"taopt/internal/trace"
+	"taopt/internal/ui"
+)
+
+// Subspace is an accepted loosely coupled UI subspace.
+type Subspace struct {
+	ID int
+	// Entry is the entrypoint screen p_out.
+	Entry ui.Signature
+	// Members are the abstract screens of the subspace.
+	Members map[ui.Signature]bool
+	// InitialMembers is len(Members) at acceptance, before any merges.
+	InitialMembers int
+	// Owner is the testing instance the subspace is dedicated to.
+	Owner int
+	// FoundAt is the virtual time of acceptance.
+	FoundAt sim.Duration
+}
+
+// Candidate is a subspace reported by FindSpace on one instance's trace,
+// before the coordinator's acceptance rules run.
+type Candidate struct {
+	Instance int
+	Entry    ui.Signature
+	Members  []ui.Signature
+	Score    float64
+	At       sim.Duration
+}
+
+// AnalyzerConfig tunes the trace analyzer.
+type AnalyzerConfig struct {
+	// LMin is Algorithm 1's exploration threshold (l_min^long or l_min^short
+	// depending on the coordinator mode).
+	LMin sim.Duration
+	// AnalyzeEvery bounds cost: FindSpace runs every this many transitions
+	// per instance.
+	AnalyzeEvery int
+	// WindowCap bounds the analysed trace suffix length.
+	WindowCap int
+	// SimilarityThreshold is CountIn's tree-similarity match threshold.
+	SimilarityThreshold float64
+	// ScoreMax is the acceptance threshold on Algorithm 1's partition score.
+	// The algorithm's own bound (score < 1) admits "roaming" windows whose
+	// suffix mixes functionalities but still beats the initialised minimum;
+	// a genuinely settled window — no overlap with the prefix, suffix as
+	// pure as its last-l_min sample — scores well below 0.5.
+	ScoreMax float64
+}
+
+// DefaultAnalyzerConfig returns the thresholds used throughout the
+// evaluation.
+func DefaultAnalyzerConfig(lMin sim.Duration) AnalyzerConfig {
+	return AnalyzerConfig{
+		LMin:                lMin,
+		AnalyzeEvery:        25,
+		WindowCap:           450,
+		SimilarityThreshold: 0.85,
+		ScoreMax:            0.5,
+	}
+}
+
+// Analyzer consumes UI transition events from all instances (via the Toller
+// drivers) and emits subspace candidates. It is the "on-the-fly trace
+// analyzer" box of Figure 1(b).
+type Analyzer struct {
+	cfg  AnalyzerConfig
+	book *trace.Book
+
+	perInstance map[int]*instanceTrace
+	simCache    map[[2]ui.Signature]bool
+}
+
+type instanceTrace struct {
+	visits      []ScreenVisit
+	sinceReport int
+}
+
+// NewAnalyzer returns an analyzer reading exemplar hierarchies from book.
+func NewAnalyzer(cfg AnalyzerConfig, book *trace.Book) *Analyzer {
+	if cfg.AnalyzeEvery <= 0 {
+		cfg.AnalyzeEvery = 25
+	}
+	if cfg.WindowCap <= 0 {
+		cfg.WindowCap = 450
+	}
+	if cfg.SimilarityThreshold == 0 {
+		cfg.SimilarityThreshold = 0.85
+	}
+	if cfg.ScoreMax == 0 {
+		cfg.ScoreMax = 0.5
+	}
+	return &Analyzer{
+		cfg:         cfg,
+		book:        book,
+		perInstance: make(map[int]*instanceTrace),
+		simCache:    make(map[[2]ui.Signature]bool),
+	}
+}
+
+// Match implements Matcher with the cached tree similarity of canonical
+// exemplar hierarchies (CountIn's comparator).
+func (a *Analyzer) Match(x, y ui.Signature) bool {
+	if x == y {
+		return true
+	}
+	key := [2]ui.Signature{x, y}
+	if y < x {
+		key = [2]ui.Signature{y, x}
+	}
+	if v, ok := a.simCache[key]; ok {
+		return v
+	}
+	sx, sy := a.book.Lookup(x), a.book.Lookup(y)
+	v := ui.ScreenSimilarity(sx, sy) >= a.cfg.SimilarityThreshold
+	a.simCache[key] = v
+	return v
+}
+
+// Observe folds one transition event into the instance's trace and, every
+// AnalyzeEvery events, runs FindSpace. It returns a candidate and true when
+// the analysis identifies a loosely coupled subspace.
+//
+// Enforced (TaOPT-injected) transitions are excluded: the analyzer must see
+// the tool's behaviour, not the coordinator's.
+func (a *Analyzer) Observe(ev trace.Event) (Candidate, bool) {
+	if ev.Enforced {
+		return Candidate{}, false
+	}
+	it, ok := a.perInstance[ev.Instance]
+	if !ok {
+		it = &instanceTrace{}
+		a.perInstance[ev.Instance] = it
+	}
+	it.visits = append(it.visits, ScreenVisit{Sig: ev.To, At: ev.At})
+	if len(it.visits) > a.cfg.WindowCap {
+		// Keep the suffix; FindSpace only needs the recent window.
+		drop := len(it.visits) - a.cfg.WindowCap
+		it.visits = append(it.visits[:0:0], it.visits[drop:]...)
+	}
+	it.sinceReport++
+	if it.sinceReport < a.cfg.AnalyzeEvery {
+		return Candidate{}, false
+	}
+	it.sinceReport = 0
+
+	res, ok := FindSpace(it.visits, a.cfg.LMin, a)
+	if !ok || res.Score > a.cfg.ScoreMax {
+		return Candidate{}, false
+	}
+	return Candidate{
+		Instance: ev.Instance,
+		Entry:    res.Entry,
+		Members:  res.Members,
+		Score:    res.Score,
+		At:       ev.At,
+	}, true
+}
+
+// ResetInstance clears an instance's analysis window. The coordinator calls
+// it when the instance's current exploration segment was just accepted as a
+// subspace (so the next identification starts fresh) and when an instance is
+// de-allocated.
+func (a *Analyzer) ResetInstance(id int) {
+	delete(a.perInstance, id)
+}
+
+// TraceLen returns the analysed window length for an instance (testing aid).
+func (a *Analyzer) TraceLen(id int) int {
+	it, ok := a.perInstance[id]
+	if !ok {
+		return 0
+	}
+	return len(it.visits)
+}

@@ -1,0 +1,749 @@
+package core
+
+import (
+	"sort"
+
+	"taopt/internal/sim"
+	"taopt/internal/toller"
+	"taopt/internal/trace"
+	"taopt/internal/ui"
+)
+
+// Mode selects the coordinator's parallelization mode (Section 5.3).
+type Mode int
+
+// Coordinator modes.
+const (
+	// DurationConstrained maintains exactly d_max concurrent instances for
+	// the whole testing period, immediately replacing de-allocated ones.
+	DurationConstrained Mode = iota
+	// ResourceConstrained starts with a single instance and allocates more
+	// only as new UI subspaces are identified, within a machine-time budget.
+	ResourceConstrained
+)
+
+func (m Mode) String() string {
+	switch m {
+	case DurationConstrained:
+		return "duration-constrained"
+	case ResourceConstrained:
+		return "resource-constrained"
+	default:
+		return "unknown-mode"
+	}
+}
+
+// Default thresholds from Section 5.2/5.3.
+const (
+	// LMinLong is l_min^long = 5 minutes (resource-constrained mode);
+	// subspaces found with it are confidently accepted at once.
+	LMinLong = 5 * sim.Duration(60e9)
+	// LMinShort is l_min^short = 1 minute (duration-constrained mode);
+	// subspaces found with it need confirmation by a second instance.
+	LMinShort = 1 * sim.Duration(60e9)
+	// PaperStagnation is the paper's de-allocation threshold: an instance
+	// discovering no new UI screens for one minute is released. That
+	// constant presupposes real industrial apps, whose content-driven UIs
+	// produce novel abstract screens at a far higher rate than this
+	// repository's finite synthetic screen graphs.
+	PaperStagnation = 1 * sim.Duration(60e9)
+	// StagnationWindow is the calibrated default for the synthetic apps:
+	// scaled so that "no new screens for the window" implies genuine
+	// exhaustion of an instance's reachable territory, as it does at one
+	// minute on real apps (see DESIGN.md, calibration notes).
+	StagnationWindow = 10 * sim.Duration(60e9)
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	Mode Mode
+	// LMin overrides the mode's default l_min when non-zero.
+	LMin sim.Duration
+	// Stagnation overrides StagnationWindow when non-zero.
+	Stagnation sim.Duration
+	// Analyzer carries the trace-analysis knobs; LMin above wins over
+	// Analyzer.LMin.
+	Analyzer AnalyzerConfig
+	// MinSubspaceSize rejects candidates with fewer distinct member screens.
+	MinSubspaceSize int
+	// WarmUp rejects candidates reported before an instance has explored
+	// this long: the first transient of a trace makes everything look novel,
+	// so windows from it span unrelated functionalities.
+	WarmUp sim.Duration
+	// MaxSpaceFraction rejects candidates claiming more than this share of
+	// all screens observed so far — a subspace is a part of the UI space,
+	// never most of it.
+	MaxSpaceFraction float64
+	// ConfirmShort is how many distinct instances must report a matching
+	// candidate under LMinShort before acceptance (paper: 2).
+	ConfirmShort int
+	// DropOrphans leaves a de-allocated owner's subspace blocked for
+	// everyone instead of re-dedicating it to the next allocated instance.
+	// Off by default: stagnation can fire before true exhaustion, and a
+	// permanently orphaned subspace is a dead zone nobody can finish (the
+	// ablation benches flip this).
+	DropOrphans bool
+}
+
+// DefaultConfig returns the paper's configuration for the given mode.
+func DefaultConfig(mode Mode) Config {
+	lmin := LMinShort
+	if mode == ResourceConstrained {
+		lmin = LMinLong
+	}
+	return Config{
+		Mode:             mode,
+		LMin:             lmin,
+		Stagnation:       StagnationWindow,
+		Analyzer:         DefaultAnalyzerConfig(lmin),
+		MinSubspaceSize:  3,
+		WarmUp:           3 * sim.Duration(60e9),
+		MaxSpaceFraction: 0.5,
+		ConfirmShort:     2,
+	}
+}
+
+// Env is the coordinator's handle on the testing cloud. The harness
+// implements it; the coordinator never touches devices, tools or the app
+// directly.
+type Env interface {
+	// Now returns the current virtual time.
+	Now() sim.Duration
+	// MaxInstances is the concurrency cap d_max.
+	MaxInstances() int
+	// ActiveInstances lists the IDs of running instances.
+	ActiveInstances() []int
+	// Allocate boots a new testing instance, returning its ID. ok=false
+	// when no device is available or the run is winding down.
+	Allocate() (id int, ok bool)
+	// Deallocate releases a running instance.
+	Deallocate(id int)
+	// Blocks returns the mutable entrypoint block set of an instance.
+	Blocks(id int) *toller.BlockSet
+}
+
+// edgeObs records one observed way into a screen.
+type edgeObs struct {
+	from   ui.Signature
+	widget ui.WidgetPath
+}
+
+// Coordinator is the test coordinator of Figure 1(b): it consumes analyzer
+// candidates, accepts subspaces per the mode's rules, dedicates each
+// subspace to one instance, blocks its entrypoints everywhere else, and
+// manages allocation/de-allocation.
+type Coordinator struct {
+	cfg      Config
+	env      Env
+	analyzer *Analyzer
+
+	// incoming[to] lists observed edges into screen `to`.
+	incoming map[ui.Signature][]edgeObs
+	// launchScreens are screens reached by app launches; they are never
+	// blocked (blocking the home screen would wedge every instance).
+	launchScreens map[ui.Signature]bool
+
+	accepted []*Subspace
+	owned    map[ui.Signature]int // member screen -> subspace ID
+
+	// pending holds each instance's latest unconfirmed short-mode candidate.
+	pending map[int]Candidate
+	// orphans are accepted subspaces whose owner was de-allocated, queued
+	// for re-dedication to the next allocated instance (oldest first).
+	orphans []int
+
+	// Stagnation tracking.
+	seen    map[int]map[ui.Signature]bool
+	lastNew map[int]sim.Duration
+	// firstSeen is when each instance started exploring (for warm-up), and
+	// globalSeen is every screen any instance has observed.
+	firstSeen  map[int]sim.Duration
+	globalSeen map[ui.Signature]bool
+
+	// stats
+	deallocations int
+	allocations   int
+	stats         Stats
+}
+
+// Stats counts coordinator decisions, for reports and debugging.
+type Stats struct {
+	Candidates    int // candidates received from the analyzer
+	WarmingUp     int // rejected: instance still in its warm-up period
+	TooBroad      int // rejected: claimed most of the known UI space
+	TrimmedAway   int // rejected: too small after owned/launch trimming
+	EntryTaken    int // rejected: entry already owned or unblockable
+	Merged        int // folded into an enclosing subspace
+	Extended      int // owner reports extending an accepted subspace
+	Unconfirmed   int // stored as pending, waiting for a second reporter
+	Accepted      int // accepted as new subspaces
+	Allocations   int
+	Deallocations int
+}
+
+// NewCoordinator wires a coordinator to its environment. Call Start before
+// feeding events.
+func NewCoordinator(cfg Config, env Env, book *trace.Book) *Coordinator {
+	if cfg.LMin == 0 {
+		cfg.LMin = LMinShort
+		if cfg.Mode == ResourceConstrained {
+			cfg.LMin = LMinLong
+		}
+	}
+	if cfg.Stagnation == 0 {
+		cfg.Stagnation = StagnationWindow
+	}
+	if cfg.MinSubspaceSize == 0 {
+		cfg.MinSubspaceSize = 3
+	}
+	if cfg.WarmUp == 0 {
+		cfg.WarmUp = 3 * sim.Duration(60e9)
+	}
+	if cfg.MaxSpaceFraction == 0 {
+		cfg.MaxSpaceFraction = 0.5
+	}
+	if cfg.ConfirmShort == 0 {
+		cfg.ConfirmShort = 2
+	}
+	cfg.Analyzer.LMin = cfg.LMin
+	return &Coordinator{
+		cfg:           cfg,
+		env:           env,
+		analyzer:      NewAnalyzer(cfg.Analyzer, book),
+		incoming:      make(map[ui.Signature][]edgeObs),
+		launchScreens: make(map[ui.Signature]bool),
+		owned:         make(map[ui.Signature]int),
+		pending:       make(map[int]Candidate),
+		seen:          make(map[int]map[ui.Signature]bool),
+		lastNew:       make(map[int]sim.Duration),
+		firstSeen:     make(map[int]sim.Duration),
+		globalSeen:    make(map[ui.Signature]bool),
+	}
+}
+
+// Start allocates the initial instances: d_max at once in the
+// duration-constrained mode, a single one in the resource-constrained mode
+// (Figure 4, step 0).
+func (c *Coordinator) Start() {
+	want := 1
+	if c.cfg.Mode == DurationConstrained {
+		want = c.env.MaxInstances()
+	}
+	for i := 0; i < want; i++ {
+		c.allocate()
+	}
+}
+
+// Subspaces returns the accepted subspaces in acceptance order.
+func (c *Coordinator) Subspaces() []*Subspace { return c.accepted }
+
+// Allocations and Deallocations expose lifecycle counts for reports.
+func (c *Coordinator) Allocations() int   { return c.allocations }
+func (c *Coordinator) Deallocations() int { return c.deallocations }
+
+// DecisionStats returns counts of the coordinator's decisions so far.
+func (c *Coordinator) DecisionStats() Stats {
+	st := c.stats
+	st.Allocations = c.allocations
+	st.Deallocations = c.deallocations
+	return st
+}
+
+// OnTransition consumes one Toller event. The harness subscribes the
+// coordinator to every driver.
+func (c *Coordinator) OnTransition(ev trace.Event) {
+	now := c.env.Now()
+
+	// Learn the UI transition graph's incoming edges (for entrypoint
+	// blocking) from genuine tool actions.
+	switch {
+	case ev.Action.Kind == trace.ActionLaunch:
+		c.launchScreens[ev.To] = true
+	case ev.Action.Kind == trace.ActionTap && !ev.Enforced:
+		c.learnEdge(ev)
+	}
+
+	// Stagnation bookkeeping: has this instance discovered a new screen?
+	inst := ev.Instance
+	s, ok := c.seen[inst]
+	if !ok {
+		s = make(map[ui.Signature]bool)
+		c.seen[inst] = s
+		c.lastNew[inst] = now
+		c.firstSeen[inst] = now
+	}
+	c.globalSeen[ev.To] = true
+	if !s[ev.To] {
+		s[ev.To] = true
+		c.lastNew[inst] = now
+	}
+
+	// Feed the analyzer.
+	if cand, found := c.analyzer.Observe(ev); found {
+		c.onCandidate(cand)
+	}
+
+	// De-allocate stagnant instances (Section 5.3, last paragraph).
+	c.reapStagnant(now)
+}
+
+// learnEdge records how screens are reached, and retro-blocks newly learned
+// edges into already-accepted subspaces on non-owner instances.
+func (c *Coordinator) learnEdge(ev trace.Event) {
+	obs := edgeObs{from: ev.From, widget: ev.Action.Widget}
+	for _, e := range c.incoming[ev.To] {
+		if e == obs {
+			obs.widget = "" // sentinel: already known
+			break
+		}
+	}
+	if obs.widget == "" {
+		return
+	}
+	c.incoming[ev.To] = append(c.incoming[ev.To], obs)
+
+	// If this edge leads into a subspace someone owns, block it for every
+	// non-owner immediately.
+	if subID, owned := c.owned[ev.To]; owned {
+		sub := c.accepted[subID]
+		if sub.Members[ev.From] {
+			return // internal edge
+		}
+		for _, id := range c.env.ActiveInstances() {
+			if id != sub.Owner {
+				c.env.Blocks(id).BlockWidget(ev.From, ev.Action.Widget)
+			}
+		}
+	}
+}
+
+// onCandidate applies the acceptance rules of Section 5.2: l_min^long
+// candidates are accepted at once; l_min^short candidates need matching
+// reports from ConfirmShort distinct instances.
+func (c *Coordinator) onCandidate(cand Candidate) {
+	c.stats.Candidates++
+	if c.env.Now()-c.firstSeen[cand.Instance] < c.cfg.WarmUp {
+		c.stats.WarmingUp++
+		return
+	}
+	if float64(len(cand.Members)) > c.cfg.MaxSpaceFraction*float64(len(c.globalSeen)) {
+		c.stats.TooBroad++
+		return
+	}
+	// Trim screens that can never be blocked or are already owned, keeping
+	// count of which accepted subspace the owned ones belong to.
+	members := make([]ui.Signature, 0, len(cand.Members))
+	overlapBySub := make(map[int]int)
+	for _, m := range cand.Members {
+		if c.launchScreens[m] {
+			continue
+		}
+		if subID, taken := c.owned[m]; taken {
+			overlapBySub[subID]++
+			continue
+		}
+		members = append(members, m)
+	}
+
+	// A candidate majority-owned by one subspace is a re-observation of that
+	// subspace, typically by its own owner going deeper: extend it rather
+	// than accept the leftover as a separate subspace with a different owner
+	// — fragmenting a functionality across owners makes them steer each
+	// other out of their own territory.
+	bestSub, bestOverlap := -1, 0
+	subIDs := make([]int, 0, len(overlapBySub))
+	for subID := range overlapBySub {
+		subIDs = append(subIDs, subID)
+	}
+	sort.Ints(subIDs)
+	for _, subID := range subIDs {
+		if n := overlapBySub[subID]; n > bestOverlap {
+			bestSub, bestOverlap = subID, n
+		}
+	}
+	if bestSub >= 0 && bestOverlap >= len(members) && bestOverlap >= c.cfg.MinSubspaceSize {
+		if len(members) > 0 && cand.Instance == c.accepted[bestSub].Owner {
+			c.stats.Extended++
+			c.merge(c.accepted[bestSub], members)
+			c.analyzer.ResetInstance(cand.Instance)
+		}
+		return
+	}
+
+	if len(members) < c.cfg.MinSubspaceSize {
+		c.stats.TrimmedAway++
+		return
+	}
+	if _, taken := c.owned[cand.Entry]; taken || c.launchScreens[cand.Entry] {
+		c.stats.EntryTaken++
+		return
+	}
+
+	// A candidate whose every observed entrance comes from inside one
+	// already-accepted subspace is not a new functionality: it is a deeper
+	// region of that subspace, reachable only by its owner. Accepting it
+	// standalone (with whatever instance happened to report it) would carve
+	// a zone nobody can reach — the owner would be steered out of it and
+	// everyone else is blocked from the path leading there. Merge it
+	// instead, without confirmation: only the enclosing owner can ever see
+	// it twice.
+	if encl, ok := c.enclosingSubspace(cand.Entry, members); ok {
+		// Merge only reports by the enclosing owner itself: the owner is the
+		// one instance that legitimately explores past the subspace's
+		// boundary, so its deeper findings extend the subspace. Anyone
+		// else's report from inside someone's territory is a leak (a rare
+		// cross edge) — folding it in would snowball unrelated screens.
+		if cand.Instance == encl.Owner {
+			c.stats.Merged++
+			c.merge(encl, members)
+			c.analyzer.ResetInstance(cand.Instance)
+		}
+		return
+	}
+
+	if c.cfg.LMin < LMinLong {
+		confirmed, merged := c.confirm(cand, members)
+		if !confirmed {
+			c.stats.Unconfirmed++
+			return
+		}
+		members = merged
+	}
+
+	c.accept(cand, members)
+}
+
+// pendingTTL bounds how long an unconfirmed candidate stays comparable.
+const pendingTTL = 5 * sim.Duration(60e9)
+
+// confirm implements the short-l_min acceptance rule: a candidate is accepted
+// only when a second instance has recently reported a matching subspace.
+// "Matching" is member-set overlap — two instances exploring the same
+// functionality settle on different screens, so entry equality would almost
+// never fire.
+func (c *Coordinator) confirm(cand Candidate, members []ui.Signature) (bool, []ui.Signature) {
+	now := c.env.Now()
+	memberSet := make(map[ui.Signature]bool, len(members))
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	// Deterministic iteration: acceptance decisions must not depend on map
+	// iteration order.
+	insts := make([]int, 0, len(c.pending))
+	for inst := range c.pending {
+		insts = append(insts, inst)
+	}
+	sort.Ints(insts)
+	for _, inst := range insts {
+		p := c.pending[inst]
+		if inst != cand.Instance && now-p.At > pendingTTL {
+			delete(c.pending, inst)
+			continue
+		}
+		inter := 0
+		for _, m := range p.Members {
+			if memberSet[m] {
+				inter++
+			}
+		}
+		smaller := len(p.Members)
+		if len(members) < smaller {
+			smaller = len(members)
+		}
+		if smaller == 0 || float64(inter)/float64(smaller) < 0.5 {
+			continue
+		}
+		// Matching reports confirm in two ways: a second instance reported
+		// the same subspace (the paper's l_min^short rule), or the same
+		// instance has kept reporting it for l_min^long — five minutes of
+		// sustained exploration is exactly the evidence the long rule
+		// accepts at once. The second way matters once coordination works:
+		// instances end up in different functionalities, so cross-instance
+		// confirmation dries up for late-discovered subspaces.
+		if inst == cand.Instance && now-p.At < LMinLong {
+			continue
+		}
+		// The accepted member set is the consensus — the intersection of
+		// the two reports: screens appearing in only one report are as
+		// likely leftovers of earlier roaming as genuine members.
+		delete(c.pending, inst)
+		delete(c.pending, cand.Instance)
+		var consensus []ui.Signature
+		for _, m := range p.Members {
+			if memberSet[m] {
+				consensus = append(consensus, m)
+			}
+		}
+		if len(consensus) < c.cfg.MinSubspaceSize {
+			return false, nil
+		}
+		return true, consensus
+	}
+
+	// Store or refresh this instance's pending report. A report that still
+	// matches the instance's previous one keeps the original timestamp, so
+	// sustained exploration of one subspace accumulates toward the
+	// l_min^long acceptance above.
+	if prev, ok := c.pending[cand.Instance]; ok {
+		inter := 0
+		for _, m := range prev.Members {
+			if memberSet[m] {
+				inter++
+			}
+		}
+		smaller := len(prev.Members)
+		if len(members) < smaller {
+			smaller = len(members)
+		}
+		if smaller > 0 && float64(inter)/float64(smaller) >= 0.5 {
+			c.pending[cand.Instance] = Candidate{
+				Instance: cand.Instance,
+				Entry:    prev.Entry,
+				Members:  members,
+				Score:    cand.Score,
+				At:       prev.At,
+			}
+			return false, nil
+		}
+	}
+	c.pending[cand.Instance] = Candidate{
+		Instance: cand.Instance,
+		Entry:    cand.Entry,
+		Members:  members,
+		Score:    cand.Score,
+		At:       now,
+	}
+	return false, nil
+}
+
+// enclosingSubspace reports the accepted subspace that fully encloses the
+// candidate's entrances: every observed non-launch edge into the entry (and
+// there is at least one) originates from that subspace's members.
+func (c *Coordinator) enclosingSubspace(entry ui.Signature, members []ui.Signature) (*Subspace, bool) {
+	memberSet := make(map[ui.Signature]bool, len(members))
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	enclosing := -1
+	found := false
+	for _, e := range c.incoming[entry] {
+		if memberSet[e.from] {
+			continue // internal edges say nothing about enclosure
+		}
+		if c.launchScreens[e.from] {
+			return nil, false // reachable straight from the hub: top-level
+		}
+		subID, owned := c.owned[e.from]
+		if !owned {
+			return nil, false // reachable from unowned territory: standalone
+		}
+		if enclosing >= 0 && subID != enclosing {
+			return nil, false // straddles two subspaces: standalone
+		}
+		enclosing = subID
+		found = true
+	}
+	if !found || enclosing < 0 {
+		return nil, false
+	}
+	return c.accepted[enclosing], true
+}
+
+// merge folds the absorbable subset of members into an existing subspace and
+// blocks the additions on every non-owner instance.
+func (c *Coordinator) merge(sub *Subspace, members []ui.Signature) {
+	absorbed := c.absorbable(sub, members)
+	if len(absorbed) == 0 {
+		return
+	}
+	for _, m := range absorbed {
+		sub.Members[m] = true
+		c.owned[m] = sub.ID
+	}
+	for _, id := range c.env.ActiveInstances() {
+		if id != sub.Owner {
+			c.blockSubspace(id, sub)
+		}
+	}
+}
+
+// absorbable returns the subset of candidate screens that are genuine
+// extensions of sub. A candidate screen qualifies when (a) none of its
+// observed incoming edges originate outside the subspace-plus-candidate
+// region (an outside edge means the screen is reachable without passing
+// through the subspace, so blocking it as part of the subspace would be
+// wrong), and (b) it is connected to the subspace: reachable from a member
+// through qualifying candidate screens. Launch screens always count as
+// outside. Candidate-internal cycles are fine — flows loop — which is why
+// the connectivity check grows as a closure from the subspace boundary.
+func (c *Coordinator) absorbable(sub *Subspace, members []ui.Signature) []ui.Signature {
+	candidate := make(map[ui.Signature]bool, len(members))
+	for _, m := range members {
+		if _, taken := c.owned[m]; !taken && !c.launchScreens[m] {
+			candidate[m] = true
+		}
+	}
+
+	// (a) sealed: no edges from genuinely external screens.
+	sealed := make(map[ui.Signature]bool, len(candidate))
+	for m := range candidate {
+		ok := true
+		for _, e := range c.incoming[m] {
+			if e.from == m || sub.Members[e.from] || candidate[e.from] {
+				continue
+			}
+			ok = false
+			break
+		}
+		if ok {
+			sealed[m] = true
+		}
+	}
+
+	// (b) connected: closure from the subspace boundary over sealed screens.
+	acc := make(map[ui.Signature]bool)
+	for changed := true; changed; {
+		changed = false
+		for m := range sealed {
+			if acc[m] {
+				continue
+			}
+			for _, e := range c.incoming[m] {
+				if sub.Members[e.from] || acc[e.from] {
+					acc[m] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	out := make([]ui.Signature, 0, len(acc))
+	for _, m := range members {
+		if acc[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// accept dedicates the subspace to the discovering instance and blocks its
+// entrypoints on every other instance (Figure 4, step 5).
+func (c *Coordinator) accept(cand Candidate, members []ui.Signature) {
+	c.stats.Accepted++
+	sub := &Subspace{
+		ID:      len(c.accepted),
+		Entry:   cand.Entry,
+		Members: make(map[ui.Signature]bool, len(members)),
+		Owner:   cand.Instance,
+		FoundAt: c.env.Now(),
+	}
+	for _, m := range members {
+		sub.Members[m] = true
+		c.owned[m] = sub.ID
+	}
+	sub.InitialMembers = len(sub.Members)
+	c.accepted = append(c.accepted, sub)
+
+	for _, id := range c.env.ActiveInstances() {
+		if id != sub.Owner {
+			c.blockSubspace(id, sub)
+		}
+	}
+	// The owner's current segment is now a dedicated subspace; start its
+	// next identification fresh.
+	c.analyzer.ResetInstance(sub.Owner)
+
+	// Resource-constrained mode: a newly identified subspace justifies a
+	// new instance if a device is free (Figure 4, step 6). The new instance
+	// is blocked from every accepted subspace, so it explores the rest.
+	if c.cfg.Mode == ResourceConstrained {
+		c.allocate()
+	}
+}
+
+// blockSubspace installs sub's blocks on one instance: every observed edge
+// from outside into the subspace is disabled, and members are marked so the
+// driver steers the tool out if it slips in through an unobserved edge.
+func (c *Coordinator) blockSubspace(id int, sub *Subspace) {
+	blocks := c.env.Blocks(id)
+	for m := range sub.Members {
+		blocks.BlockMember(m)
+		for _, e := range c.incoming[m] {
+			if !sub.Members[e.from] {
+				blocks.BlockWidget(e.from, e.widget)
+			}
+		}
+	}
+}
+
+// allocate boots a new instance. If any accepted subspace was orphaned by
+// its owner's de-allocation, the oldest orphan is re-dedicated to the new
+// instance (a subspace must always have a living owner, or it becomes a
+// permanently blocked dead zone); every other accepted subspace is blocked.
+func (c *Coordinator) allocate() (int, bool) {
+	id, ok := c.env.Allocate()
+	if !ok {
+		return 0, false
+	}
+	c.allocations++
+	c.lastNew[id] = c.env.Now()
+	if !c.cfg.DropOrphans && len(c.orphans) > 0 {
+		c.accepted[c.orphans[0]].Owner = id
+		c.orphans = c.orphans[1:]
+	}
+	for _, sub := range c.accepted {
+		if sub.Owner != id {
+			c.blockSubspace(id, sub)
+		}
+	}
+	return id, true
+}
+
+// reapStagnant de-allocates instances that have not discovered a new UI
+// screen within the stagnation window, then applies the mode's response:
+// duration-constrained immediately allocates a replacement;
+// resource-constrained defers to the next subspace acceptance.
+func (c *Coordinator) reapStagnant(now sim.Duration) {
+	active := c.env.ActiveInstances()
+	sort.Ints(active)
+	for _, id := range active {
+		last, ok := c.lastNew[id]
+		if !ok {
+			c.lastNew[id] = now
+			continue
+		}
+		if now-last <= c.cfg.Stagnation {
+			continue
+		}
+		c.env.Deallocate(id)
+		c.deallocations++
+		c.analyzer.ResetInstance(id)
+		delete(c.seen, id)
+		delete(c.lastNew, id)
+		delete(c.firstSeen, id)
+		for _, sub := range c.accepted {
+			if sub.Owner == id {
+				c.orphans = append(c.orphans, sub.ID)
+			}
+		}
+		switch {
+		case c.cfg.Mode == DurationConstrained:
+			c.allocate()
+		case len(c.orphans) > 0:
+			// Resource-constrained mode defers allocation until new
+			// subspaces are identified — but an orphaned subspace is
+			// exactly that: identified work without a living owner. Boot a
+			// replacement to inherit it; pure leftover-explorers are not
+			// replaced until something new turns up.
+			c.allocate()
+		}
+	}
+	// Liveness guard (resource-constrained mode): the paper defers new
+	// allocations until a new subspace is identified, but with zero active
+	// instances nothing can ever be identified again. A practical deployment
+	// relaunches one instance; we do the same (documented in DESIGN.md).
+	if len(c.env.ActiveInstances()) == 0 {
+		c.allocate()
+	}
+}

@@ -1,0 +1,150 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(130)
+	if s.Count() != 0 || s.Universe() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	if !s.Add(0) || !s.Add(129) || !s.Add(64) {
+		t.Fatal("Add of new ids must report true")
+	}
+	if s.Add(64) {
+		t.Fatal("Add of existing id must report false")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	if !s.Has(129) || s.Has(1) || s.Has(-1) || s.Has(999) {
+		t.Fatal("Has wrong")
+	}
+	if got := s.Elements(); len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Fatalf("Elements = %v", got)
+	}
+}
+
+func TestSetAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSet(10).Add(10)
+}
+
+func TestAddAll(t *testing.T) {
+	s := NewSet(100)
+	if got := s.AddAll([]int{1, 2, 3, 2, 1}); got != 3 {
+		t.Fatalf("AddAll new = %d, want 3", got)
+	}
+}
+
+func TestSetOpsAgainstMapModel(t *testing.T) {
+	// Property test: every counting operation agrees with a map-based model.
+	if err := quick.Check(func(as, bs []uint16) bool {
+		const n = 2000
+		a, b := NewSet(n), NewSet(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, v := range as {
+			id := int(v) % n
+			a.Add(id)
+			ma[id] = true
+		}
+		for _, v := range bs {
+			id := int(v) % n
+			b.Add(id)
+			mb[id] = true
+		}
+		inter, union, diff := 0, len(mb), 0
+		for id := range ma {
+			if mb[id] {
+				inter++
+			} else {
+				union++ // only-a contributes beyond len(mb)
+				diff++
+			}
+		}
+		union += inter // a∩b counted once via mb already... recompute clean:
+		union = 0
+		seen := map[int]bool{}
+		for id := range ma {
+			seen[id] = true
+		}
+		for id := range mb {
+			seen[id] = true
+		}
+		union = len(seen)
+		return a.IntersectCount(b) == inter &&
+			a.UnionCount(b) == union &&
+			a.DifferenceCount(b) == diff &&
+			a.Count() == len(ma)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := NewSet(200), NewSet(200)
+	a.AddAll([]int{1, 2, 3})
+	b.AddAll([]int{3, 4, 5})
+	a.UnionWith(b)
+	if a.Count() != 5 {
+		t.Fatalf("union count = %d, want 5", a.Count())
+	}
+	if b.Count() != 3 {
+		t.Fatal("UnionWith must not modify the argument")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewSet(64)
+	a.Add(7)
+	c := a.Clone()
+	c.Add(8)
+	if a.Has(8) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Has(7) {
+		t.Fatal("Clone lost contents")
+	}
+}
+
+func TestUnionOf(t *testing.T) {
+	sets := []*Set{NewSet(50), NewSet(50), NewSet(50)}
+	sets[0].Add(1)
+	sets[1].Add(2)
+	sets[2].Add(1)
+	u := UnionOf(sets)
+	if u.Count() != 2 {
+		t.Fatalf("UnionOf count = %d, want 2", u.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionOf(nil) must panic")
+		}
+	}()
+	UnionOf(nil)
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on universe mismatch")
+		}
+	}()
+	NewSet(10).UnionCount(NewSet(20))
+}
+
+func TestUnionFunc(t *testing.T) {
+	a, b := NewSet(10), NewSet(10)
+	a.Add(1)
+	b.Add(2)
+	u := Union(a, b)
+	if u.Count() != 2 || a.Count() != 1 || b.Count() != 1 {
+		t.Fatal("Union must be non-destructive")
+	}
+}

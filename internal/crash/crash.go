@@ -1,0 +1,120 @@
+// Package crash collects app crashes and deduplicates them by stack-trace
+// code locations, the analogue of the paper's Logcat-based crash collection
+// (Section 6.1): "Code locations in stack traces are used to identify unique
+// crashes."
+package crash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"taopt/internal/sim"
+)
+
+// Report is one observed crash.
+type Report struct {
+	App       string
+	Frames    []string // innermost first
+	Signature Signature
+	At        sim.Duration
+	Instance  int
+}
+
+// Signature identifies a unique crash: a hash of the stack trace's code
+// locations.
+type Signature string
+
+// SignatureOf computes the deduplication key for a stack trace.
+func SignatureOf(frames []string) Signature {
+	h := fnv.New64a()
+	for _, f := range frames {
+		h.Write([]byte(codeLocation(f)))
+		h.Write([]byte{'\n'})
+	}
+	return Signature(fmt.Sprintf("crash:%016x", h.Sum64()))
+}
+
+// codeLocation extracts the "Class.method(File.java:line)" code location from
+// a frame, tolerating surrounding log noise such as "at " prefixes.
+func codeLocation(frame string) string {
+	f := strings.TrimSpace(frame)
+	f = strings.TrimPrefix(f, "at ")
+	return f
+}
+
+// Log accumulates crash reports and answers uniqueness queries.
+// The zero value is not usable; use NewLog.
+type Log struct {
+	app     string
+	reports []Report
+	bySig   map[Signature][]int // signature -> report indexes
+}
+
+// NewLog returns an empty log for the named app.
+func NewLog(appName string) *Log {
+	return &Log{app: appName, bySig: make(map[Signature][]int)}
+}
+
+// Record adds a crash observed on instance at virtual time t and returns the
+// report. The report's signature is computed from frames.
+func (l *Log) Record(frames []string, t sim.Duration, instance int) Report {
+	r := Report{
+		App:       l.app,
+		Frames:    append([]string(nil), frames...),
+		Signature: SignatureOf(frames),
+		At:        t,
+		Instance:  instance,
+	}
+	l.bySig[r.Signature] = append(l.bySig[r.Signature], len(l.reports))
+	l.reports = append(l.reports, r)
+	return r
+}
+
+// Total returns the number of crash occurrences (with duplicates).
+func (l *Log) Total() int { return len(l.reports) }
+
+// Unique returns the number of distinct crashes.
+func (l *Log) Unique() int { return len(l.bySig) }
+
+// Signatures returns the distinct crash signatures in deterministic order.
+func (l *Log) Signatures() []Signature {
+	out := make([]Signature, 0, len(l.bySig))
+	for sig := range l.bySig {
+		out = append(out, sig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reports returns all reports in arrival order.
+func (l *Log) Reports() []Report { return l.reports }
+
+// FirstSeen returns the earliest report for sig, and whether sig was seen.
+func (l *Log) FirstSeen(sig Signature) (Report, bool) {
+	idxs, ok := l.bySig[sig]
+	if !ok {
+		return Report{}, false
+	}
+	return l.reports[idxs[0]], true
+}
+
+// Merge folds other's reports into l. Both logs must be for the same app.
+func (l *Log) Merge(other *Log) {
+	for _, r := range other.reports {
+		l.bySig[r.Signature] = append(l.bySig[r.Signature], len(l.reports))
+		l.reports = append(l.reports, r)
+	}
+}
+
+// UniqueUnion returns the number of distinct signatures across the logs.
+func UniqueUnion(logs []*Log) int {
+	seen := make(map[Signature]bool)
+	for _, l := range logs {
+		for sig := range l.bySig {
+			seen[sig] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,93 @@
+package crash
+
+import (
+	"testing"
+)
+
+var framesA = []string{
+	"com.app.Cart.submit(Cart.java:77)",
+	"com.app.net.Client.post(Client.java:210)",
+}
+
+var framesB = []string{
+	"com.app.Feed.load(Feed.java:12)",
+}
+
+func TestSignatureOfStability(t *testing.T) {
+	if SignatureOf(framesA) != SignatureOf(framesA) {
+		t.Fatal("signature must be deterministic")
+	}
+	if SignatureOf(framesA) == SignatureOf(framesB) {
+		t.Fatal("different traces must have different signatures")
+	}
+	// "at " prefixes and whitespace are Logcat noise, not code locations.
+	noisy := []string{"  at com.app.Cart.submit(Cart.java:77)", "at com.app.net.Client.post(Client.java:210)"}
+	if SignatureOf(framesA) != SignatureOf(noisy) {
+		t.Fatal("signature must normalise frame noise")
+	}
+}
+
+func TestSignatureOrderMatters(t *testing.T) {
+	rev := []string{framesA[1], framesA[0]}
+	if SignatureOf(framesA) == SignatureOf(rev) {
+		t.Fatal("frame order is part of the code-location identity")
+	}
+}
+
+func TestLogDedup(t *testing.T) {
+	l := NewLog("app")
+	l.Record(framesA, 10, 0)
+	l.Record(framesA, 20, 1)
+	l.Record(framesB, 30, 0)
+	if l.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", l.Total())
+	}
+	if l.Unique() != 2 {
+		t.Fatalf("Unique = %d, want 2", l.Unique())
+	}
+	first, ok := l.FirstSeen(SignatureOf(framesA))
+	if !ok || first.At != 10 || first.Instance != 0 {
+		t.Fatalf("FirstSeen = %+v, ok=%v", first, ok)
+	}
+	if _, ok := l.FirstSeen("crash:nope"); ok {
+		t.Fatal("FirstSeen of unknown signature")
+	}
+	sigs := l.Signatures()
+	if len(sigs) != 2 || sigs[0] > sigs[1] {
+		t.Fatalf("Signatures = %v, want 2 sorted", sigs)
+	}
+}
+
+func TestRecordCopiesFrames(t *testing.T) {
+	l := NewLog("app")
+	frames := []string{"com.app.A.b(A.java:1)"}
+	r := l.Record(frames, 0, 0)
+	frames[0] = "mutated"
+	if r.Frames[0] == "mutated" || l.Reports()[0].Frames[0] == "mutated" {
+		t.Fatal("Record must copy the frames slice")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewLog("app"), NewLog("app")
+	a.Record(framesA, 1, 0)
+	b.Record(framesA, 2, 1)
+	b.Record(framesB, 3, 1)
+	a.Merge(b)
+	if a.Total() != 3 || a.Unique() != 2 {
+		t.Fatalf("after merge: total=%d unique=%d", a.Total(), a.Unique())
+	}
+}
+
+func TestUniqueUnion(t *testing.T) {
+	a, b := NewLog("app"), NewLog("app")
+	a.Record(framesA, 1, 0)
+	b.Record(framesA, 2, 1)
+	b.Record(framesB, 3, 1)
+	if got := UniqueUnion([]*Log{a, b}); got != 2 {
+		t.Fatalf("UniqueUnion = %d, want 2", got)
+	}
+	if got := UniqueUnion(nil); got != 0 {
+		t.Fatalf("UniqueUnion(nil) = %d", got)
+	}
+}

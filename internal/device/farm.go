@@ -1,0 +1,134 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"taopt/internal/app"
+	"taopt/internal/sim"
+)
+
+// Farm manages a pool of emulator slots for one app, mirroring a testing
+// cloud: the coordinator allocates and de-allocates testing instances, and
+// the farm accounts the machine time each allocation consumed.
+type Farm struct {
+	app        *app.App
+	rng        *sim.RNG
+	maxDevices int
+	autoLogin  bool
+
+	nextID    int
+	active    map[int]*Allocation
+	retired   []*Allocation
+	meterUsed sim.Duration
+}
+
+// Allocation is one testing-instance lease.
+type Allocation struct {
+	Emu   *Emulator
+	Since sim.Duration
+	Until sim.Duration // valid once released
+	done  bool
+}
+
+// MachineTime returns the machine time this allocation has consumed by now.
+func (al *Allocation) MachineTime(now sim.Duration) sim.Duration {
+	if al.done {
+		return al.Until - al.Since
+	}
+	return now - al.Since
+}
+
+// NewFarm returns a farm for a with at most maxDevices concurrent instances.
+// If autoLogin is set, each freshly allocated instance runs the app's
+// auto-login script before testing starts (as in the paper's setup).
+func NewFarm(a *app.App, rng *sim.RNG, maxDevices int, autoLogin bool) *Farm {
+	if maxDevices <= 0 {
+		panic("device: farm needs at least one device")
+	}
+	return &Farm{
+		app:        a,
+		rng:        rng,
+		maxDevices: maxDevices,
+		autoLogin:  autoLogin,
+		active:     make(map[int]*Allocation),
+	}
+}
+
+// ActiveCount returns the number of currently allocated instances.
+func (f *Farm) ActiveCount() int { return len(f.active) }
+
+// MaxDevices returns the concurrency cap.
+func (f *Farm) MaxDevices() int { return f.maxDevices }
+
+// Allocate boots a new testing instance at virtual time now. It returns an
+// error when all devices are busy.
+func (f *Farm) Allocate(now sim.Duration) (*Allocation, error) {
+	if len(f.active) >= f.maxDevices {
+		return nil, fmt.Errorf("device: all %d devices busy", f.maxDevices)
+	}
+	id := f.nextID
+	f.nextID++
+	emu := NewEmulator(id, f.app, f.rng.Fork(int64(id)))
+	if f.autoLogin {
+		emu.AutoLogin()
+	}
+	al := &Allocation{Emu: emu, Since: now}
+	f.active[id] = al
+	return al, nil
+}
+
+// Release de-allocates the instance with the given ID at virtual time now,
+// charging its machine time. Releasing an unknown ID panics: leases are
+// managed by one coordinator.
+func (f *Farm) Release(id int, now sim.Duration) *Allocation {
+	al, ok := f.active[id]
+	if !ok {
+		panic(fmt.Sprintf("device: release of unknown instance %d", id))
+	}
+	delete(f.active, id)
+	al.Until = now
+	al.done = true
+	f.retired = append(f.retired, al)
+	f.meterUsed += al.Until - al.Since
+	return al
+}
+
+// ReleaseAll de-allocates every active instance.
+func (f *Farm) ReleaseAll(now sim.Duration) {
+	ids := make([]int, 0, len(f.active))
+	for id := range f.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f.Release(id, now)
+	}
+}
+
+// Active returns the active allocations sorted by instance ID.
+func (f *Farm) Active() []*Allocation {
+	out := make([]*Allocation, 0, len(f.active))
+	for _, al := range f.active {
+		out = append(out, al)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Emu.ID < out[j].Emu.ID })
+	return out
+}
+
+// All returns every allocation ever made, retired first, sorted by ID.
+func (f *Farm) All() []*Allocation {
+	out := append([]*Allocation(nil), f.retired...)
+	out = append(out, f.Active()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Emu.ID < out[j].Emu.ID })
+	return out
+}
+
+// MachineTime returns total machine time consumed by all allocations by now.
+func (f *Farm) MachineTime(now sim.Duration) sim.Duration {
+	total := f.meterUsed
+	for _, al := range f.active {
+		total += now - al.Since
+	}
+	return total
+}

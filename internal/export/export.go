@@ -1,0 +1,224 @@
+// Package export serialises run results — UI transition traces, coverage,
+// crashes, identified subspaces — to a stable JSON format, mirroring the
+// paper's practice of logging every experiment for offline inspection
+// (Section 8: "we output relevant logs and the used metrics for each
+// experiment"). cmd/tracetool consumes these files for offline analysis.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"taopt/internal/harness"
+	"taopt/internal/sim"
+	"taopt/internal/trace"
+	"taopt/internal/ui"
+)
+
+// FormatVersion identifies the serialisation schema.
+const FormatVersion = 1
+
+// Run is the serialised form of one campaign run.
+type Run struct {
+	Version int    `json:"version"`
+	App     string `json:"app"`
+	Tool    string `json:"tool"`
+	Setting string `json:"setting"`
+	Seed    int64  `json:"seed"`
+
+	WallUsedNS    int64 `json:"wall_used_ns"`
+	MachineUsedNS int64 `json:"machine_used_ns"`
+	Coverage      int   `json:"coverage"`
+	UniqueCrashes int   `json:"unique_crashes"`
+
+	Instances []Instance `json:"instances"`
+	Subspaces []Subspace `json:"subspaces,omitempty"`
+	Timeline  []Point    `json:"timeline"`
+	Screens   []Screen   `json:"screens"`
+}
+
+// Instance is one testing-instance allocation.
+type Instance struct {
+	ID          int     `json:"id"`
+	AllocatedNS int64   `json:"allocated_ns"`
+	ReleasedNS  int64   `json:"released_ns"`
+	Coverage    int     `json:"coverage"`
+	Crashes     []Crash `json:"crashes,omitempty"`
+	Events      []Event `json:"events"`
+}
+
+// Event is one UI transition.
+type Event struct {
+	AtNS     int64  `json:"at_ns"`
+	Kind     string `json:"kind"`
+	Widget   string `json:"widget,omitempty"`
+	From     uint64 `json:"from,omitempty"`
+	To       uint64 `json:"to"`
+	Activity string `json:"activity"`
+	Crashed  bool   `json:"crashed,omitempty"`
+	Enforced bool   `json:"enforced,omitempty"`
+}
+
+// Crash is one observed crash.
+type Crash struct {
+	Signature string   `json:"signature"`
+	AtNS      int64    `json:"at_ns"`
+	Frames    []string `json:"frames"`
+}
+
+// Subspace is one accepted loosely coupled UI subspace.
+type Subspace struct {
+	ID      int      `json:"id"`
+	Entry   uint64   `json:"entry"`
+	Members []uint64 `json:"members"`
+	Owner   int      `json:"owner"`
+	FoundNS int64    `json:"found_ns"`
+}
+
+// Point is one timeline sample.
+type Point struct {
+	WallNS    int64   `json:"wall_ns"`
+	MachineNS int64   `json:"machine_ns"`
+	Covered   int     `json:"covered"`
+	Crashes   int     `json:"crashes"`
+	AJS       float64 `json:"ajs,omitempty"`
+}
+
+// Screen is one distinct abstract screen observed during the run.
+type Screen struct {
+	Signature uint64 `json:"signature"`
+	Activity  string `json:"activity"`
+	Nodes     int    `json:"nodes"`
+}
+
+// FromResult converts a harness result to its serialised form.
+func FromResult(res *harness.RunResult) *Run {
+	out := &Run{
+		Version:       FormatVersion,
+		App:           res.Config.App.Name,
+		Tool:          res.Config.Tool,
+		Setting:       res.Config.Setting.String(),
+		Seed:          res.Config.Seed,
+		WallUsedNS:    int64(res.WallUsed),
+		MachineUsedNS: int64(res.MachineUsed),
+		Coverage:      res.Union.Count(),
+		UniqueCrashes: res.UniqueCrashes,
+	}
+	for _, inst := range res.Instances {
+		ei := Instance{
+			ID:          inst.ID,
+			AllocatedNS: int64(inst.Allocated),
+			ReleasedNS:  int64(inst.Released),
+			Coverage:    inst.Methods.Count(),
+		}
+		for _, rep := range inst.Crashes.Reports() {
+			ei.Crashes = append(ei.Crashes, Crash{
+				Signature: string(rep.Signature),
+				AtNS:      int64(rep.At),
+				Frames:    rep.Frames,
+			})
+		}
+		for _, ev := range inst.Trace.Events() {
+			ei.Events = append(ei.Events, Event{
+				AtNS:     int64(ev.At),
+				Kind:     ev.Action.Kind.String(),
+				Widget:   string(ev.Action.Widget),
+				From:     uint64(ev.From),
+				To:       uint64(ev.To),
+				Activity: ev.Activity,
+				Crashed:  ev.Crashed,
+				Enforced: ev.Enforced,
+			})
+		}
+		out.Instances = append(out.Instances, ei)
+	}
+	for _, sub := range res.Subspaces {
+		es := Subspace{ID: sub.ID, Entry: uint64(sub.Entry), Owner: sub.Owner, FoundNS: int64(sub.FoundAt)}
+		for m := range sub.Members {
+			es.Members = append(es.Members, uint64(m))
+		}
+		sortUint64(es.Members)
+		out.Subspaces = append(out.Subspaces, es)
+	}
+	for _, p := range res.Timeline {
+		out.Timeline = append(out.Timeline, Point{
+			WallNS:    int64(p.Wall),
+			MachineNS: int64(p.Machine),
+			Covered:   p.Covered,
+			Crashes:   p.Crashes,
+			AJS:       p.AJS,
+		})
+	}
+	if res.Book != nil {
+		for _, sig := range res.Book.Signatures() {
+			s := res.Book.Lookup(sig)
+			out.Screens = append(out.Screens, Screen{
+				Signature: uint64(sig),
+				Activity:  s.Activity,
+				Nodes:     s.Root.Size(),
+			})
+		}
+	}
+	return out
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// Write serialises the run as indented JSON.
+func (r *Run) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// Read deserialises a run and validates the schema version.
+func Read(rd io.Reader) (*Run, error) {
+	var run Run
+	if err := json.NewDecoder(rd).Decode(&run); err != nil {
+		return nil, fmt.Errorf("export: decoding run: %w", err)
+	}
+	if run.Version != FormatVersion {
+		return nil, fmt.Errorf("export: unsupported format version %d (want %d)", run.Version, FormatVersion)
+	}
+	return &run, nil
+}
+
+// TraceLogs reconstructs per-instance transition logs for offline analysis.
+func (r *Run) TraceLogs() []*trace.Log {
+	out := make([]*trace.Log, 0, len(r.Instances))
+	for _, inst := range r.Instances {
+		var l trace.Log
+		for _, ev := range inst.Events {
+			l.Append(trace.Event{
+				Instance: inst.ID,
+				At:       sim.Duration(ev.AtNS),
+				Action:   trace.Action{Kind: parseKind(ev.Kind), Widget: ui.WidgetPath(ev.Widget)},
+				From:     ui.Signature(ev.From),
+				To:       ui.Signature(ev.To),
+				Activity: ev.Activity,
+				Crashed:  ev.Crashed,
+				Enforced: ev.Enforced,
+			})
+		}
+		out = append(out, &l)
+	}
+	return out
+}
+
+func parseKind(s string) trace.ActionKind {
+	switch s {
+	case "launch":
+		return trace.ActionLaunch
+	case "back":
+		return trace.ActionBack
+	default:
+		return trace.ActionTap
+	}
+}

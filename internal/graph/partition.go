@@ -1,0 +1,213 @@
+package graph
+
+import "sort"
+
+// Partition is a disjoint grouping of a graph's vertices into subspaces.
+type Partition struct {
+	// Groups holds vertex indexes per subspace, each sorted ascending;
+	// groups are ordered by their smallest vertex.
+	Groups [][]int
+	// Assign maps vertex -> group index.
+	Assign []int
+}
+
+// GroupCount returns the number of subspaces.
+func (p Partition) GroupCount() int { return len(p.Groups) }
+
+// PartitionOptions tunes the offline partitioner.
+type PartitionOptions struct {
+	// MaxCoupling is the flow threshold below which two regions count as
+	// loosely coupled and are NOT merged. Higher values merge more.
+	MaxCoupling float64
+	// MinGroupSize: groups smaller than this are folded into their most
+	// coupled neighbour at the end (singleton UI states are rarely a
+	// functionality of their own).
+	MinGroupSize int
+}
+
+// DefaultPartitionOptions matches the conservative setting described in
+// Section 3.1: "requiring both low inter-region transition probabilities and
+// high internal cohesion before partitioning".
+func DefaultPartitionOptions() PartitionOptions {
+	return PartitionOptions{MaxCoupling: 0.08, MinGroupSize: 2}
+}
+
+// OfflinePartition computes a conservative min-conductance partition of g by
+// agglomerative merging: every vertex starts alone, and in each round the two
+// regions with the strongest normalised mutual transition probability merge;
+// merging stops once every remaining inter-region coupling is below
+// MaxCoupling. The exact MC-GPP optimum is NP-hard (Section 4.1); this greedy
+// heuristic is the study instrument, not the contribution.
+func OfflinePartition(g *Graph, opts PartitionOptions) Partition {
+	n := g.N()
+	if n == 0 {
+		return Partition{Assign: []int{}}
+	}
+
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+
+	// regionTables recomputes per-root aggregate flow and weight from the
+	// immutable edge list. O(E) per call; the graphs under study are small
+	// (hundreds of screens), so recomputation beats incremental bookkeeping
+	// for clarity and correctness.
+	type pair struct{ a, b int }
+	regionTables := func() (flow map[pair]float64, weight map[int]float64) {
+		flow = make(map[pair]float64)
+		weight = make(map[int]float64)
+		for i := range g.Out {
+			ri := find(i)
+			for _, e := range g.Out[i] {
+				rj := find(e.To)
+				weight[ri] += e.P
+				if ri != rj {
+					k := pair{ri, rj}
+					if rj < ri {
+						k = pair{rj, ri}
+					}
+					flow[k] += e.P
+				}
+			}
+		}
+		return flow, weight
+	}
+
+	coupling := func(f float64, wa, wb float64) float64 {
+		den := wa
+		if wb < den {
+			den = wb
+		}
+		if den <= 0 {
+			return 0
+		}
+		return f / den
+	}
+
+	for {
+		flow, weight := regionTables()
+		bestA, bestB, bestC := -1, -1, 0.0
+		keys := make([]pair, 0, len(flow))
+		for k := range flow {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].a != keys[j].a {
+				return keys[i].a < keys[j].a
+			}
+			return keys[i].b < keys[j].b
+		})
+		for _, k := range keys {
+			if c := coupling(flow[k], weight[k.a], weight[k.b]); c > bestC {
+				bestA, bestB, bestC = k.a, k.b, c
+			}
+		}
+		if bestA < 0 || bestC < opts.MaxCoupling {
+			break
+		}
+		union(bestA, bestB)
+	}
+
+	// Fold tiny groups into their strongest neighbour.
+	if opts.MinGroupSize > 1 {
+		for {
+			flow, _ := regionTables()
+			merged := false
+			for i := 0; i < n && !merged; i++ {
+				r := find(i)
+				if r != i || size[r] >= opts.MinGroupSize {
+					continue
+				}
+				bestB, bestF := -1, 0.0
+				keys := make([]pair, 0, len(flow))
+				for k := range flow {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(x, y int) bool {
+					if keys[x].a != keys[y].a {
+						return keys[x].a < keys[y].a
+					}
+					return keys[x].b < keys[y].b
+				})
+				for _, k := range keys {
+					other := -1
+					if k.a == r {
+						other = k.b
+					} else if k.b == r {
+						other = k.a
+					}
+					if other >= 0 && flow[k] > bestF {
+						bestB, bestF = other, flow[k]
+					}
+				}
+				if bestB >= 0 {
+					union(r, bestB)
+					merged = true
+				}
+			}
+			if !merged {
+				break
+			}
+		}
+	}
+
+	// Materialise groups.
+	byRoot := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		byRoot[find(i)] = append(byRoot[find(i)], i)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return byRoot[roots[i]][0] < byRoot[roots[j]][0] })
+	p := Partition{Assign: make([]int, n)}
+	for gi, r := range roots {
+		vs := byRoot[r]
+		sort.Ints(vs)
+		p.Groups = append(p.Groups, vs)
+		for _, v := range vs {
+			p.Assign[v] = gi
+		}
+	}
+	return p
+}
+
+// MaxPairwiseConductance returns the maximum φ(Gi, Gj) over all ordered pairs
+// of the partition's groups — the MC-GPP objective of Eq. 3.
+func MaxPairwiseConductance(g *Graph, p Partition) float64 {
+	best := 0.0
+	for i := range p.Groups {
+		for j := range p.Groups {
+			if i == j {
+				continue
+			}
+			if c := g.ConductanceSets(p.Groups[i], p.Groups[j]); c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}

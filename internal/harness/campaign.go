@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"taopt/internal/apps"
+	"taopt/internal/coverage"
+	"taopt/internal/graph"
+	"taopt/internal/metrics"
+	"taopt/internal/sim"
+)
+
+// CellKey identifies one run of the evaluation grid.
+type CellKey struct {
+	App     string
+	Tool    string
+	Setting Setting
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.App, k.Tool, k.Setting)
+}
+
+// CellSummary is the digest of one run that the experiment renderers work
+// from. Heavy per-event data (traces, screen books) is reduced here so a full
+// 18-app × 3-tool grid fits comfortably in memory.
+type CellSummary struct {
+	Key CellKey
+
+	// Coverage.
+	Union        int
+	UnionSet     *coverage.Set
+	InstanceSets []*coverage.Set
+	Timeline     metrics.Timeline
+
+	// Crashes.
+	UniqueCrashes int
+
+	// UI overlap (Table 6).
+	DistinctUIs  int
+	UIOccAverage float64
+
+	// Budgets.
+	WallUsed    sim.Duration
+	MachineUsed sim.Duration
+
+	// TaOPT-only.
+	Subspaces int
+
+	// Preliminary-study fields, filled for BaselineParallel cells only:
+	// the offline UI-subspace partition of the combined traces and, per
+	// identified subspace, how many of the instances explored it (Table 1).
+	OfflineSubspaces int
+	OverlapHist      []int
+}
+
+// CampaignConfig parameterises a whole evaluation campaign.
+type CampaignConfig struct {
+	// Apps are catalog names; empty means all 18.
+	Apps []string
+	// Tools are testing-tool names; empty means all three.
+	Tools []string
+	// Instances is d_max (default 5).
+	Instances int
+	// Duration is l_p (default 1h). Scale it down for quick runs.
+	Duration sim.Duration
+	// Seed is the campaign seed; each cell derives its own.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if len(c.Apps) == 0 {
+		c.Apps = apps.Names()
+	}
+	if len(c.Tools) == 0 {
+		c.Tools = []string{"monkey", "ape", "wctester"}
+	}
+	if c.Instances == 0 {
+		c.Instances = DefaultInstances
+	}
+	if c.Duration == 0 {
+		c.Duration = DefaultDuration
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Campaign executes and caches evaluation runs. Each (app, tool, setting)
+// cell runs at most once; all experiment renderers share the cache, so
+// regenerating every table and figure costs one pass over the grid.
+type Campaign struct {
+	cfg   CampaignConfig
+	cells map[CellKey]*CellSummary
+}
+
+// NewCampaign returns an empty campaign with the given configuration.
+func NewCampaign(cfg CampaignConfig) *Campaign {
+	return &Campaign{cfg: cfg.withDefaults(), cells: make(map[CellKey]*CellSummary)}
+}
+
+// Config returns the campaign's effective configuration.
+func (c *Campaign) Config() CampaignConfig { return c.cfg }
+
+// Apps returns the campaign's app list (sorted).
+func (c *Campaign) Apps() []string {
+	out := append([]string(nil), c.cfg.Apps...)
+	sort.Strings(out)
+	return out
+}
+
+// Tools returns the campaign's tool list.
+func (c *Campaign) Tools() []string { return append([]string(nil), c.cfg.Tools...) }
+
+// cellSeed derives a deterministic seed per cell so adding cells never
+// perturbs existing ones.
+func (c *Campaign) cellSeed(key CellKey) int64 {
+	h := int64(1469598103934665603)
+	for _, s := range []string{key.App, key.Tool, key.Setting.String()} {
+		for i := 0; i < len(s); i++ {
+			h ^= int64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h ^ c.cfg.Seed
+}
+
+// Cell runs (or returns the cached summary of) one grid cell.
+func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, error) {
+	key := CellKey{App: appName, Tool: tool, Setting: setting}
+	if s, ok := c.cells[key]; ok {
+		return s, nil
+	}
+	aut, err := apps.Load(appName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(RunConfig{
+		App:       aut,
+		Tool:      tool,
+		Setting:   setting,
+		Instances: c.cfg.Instances,
+		Duration:  c.cfg.Duration,
+		Seed:      c.cellSeed(key),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := summarize(key, res, c.cfg.Instances)
+	c.cells[key] = s
+	if c.cfg.Progress != nil {
+		fmt.Fprintf(c.cfg.Progress, "ran %-60s coverage=%-7d crashes=%-3d ui-overlap=%.1f\n",
+			key.String(), s.Union, s.UniqueCrashes, s.UIOccAverage)
+	}
+	return s, nil
+}
+
+// MustCell is Cell for callers holding a validated grid.
+func (c *Campaign) MustCell(appName, tool string, setting Setting) *CellSummary {
+	s, err := c.Cell(appName, tool, setting)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// summarize reduces a RunResult to the digest the renderers need, computing
+// the preliminary-study offline partition for baseline cells while the
+// traces are still available.
+func summarize(key CellKey, res *RunResult, instances int) *CellSummary {
+	s := &CellSummary{
+		Key:           key,
+		Union:         res.Union.Count(),
+		UnionSet:      res.Union,
+		InstanceSets:  res.InstanceSets(),
+		Timeline:      res.Timeline,
+		UniqueCrashes: res.UniqueCrashes,
+		DistinctUIs:   len(res.UIOccurrences),
+		UIOccAverage:  res.UIOccurrenceAverage(),
+		WallUsed:      res.WallUsed,
+		MachineUsed:   res.MachineUsed,
+		Subspaces:     len(res.Subspaces),
+	}
+	if key.Setting == BaselineParallel {
+		s.OfflineSubspaces, s.OverlapHist = subspaceOverlap(res, instances)
+	}
+	return s
+}
+
+// subspaceOverlap applies the offline UI-subspace partition to the combined
+// baseline traces and counts, per subspace, how many instances explored it
+// (Section 3.1's "Measuring overlaps of UI subspace exploration"). An
+// instance counts as exploring a subspace if it visited at least two of its
+// screens (or all of a smaller one) — touching a single screen of a region
+// is passing by, not exploring.
+func subspaceOverlap(res *RunResult, instances int) (int, []int) {
+	b := graph.NewBuilder()
+	for _, inst := range res.Instances {
+		b.AddTrace(inst.Trace)
+	}
+	g := b.Graph()
+	part := graph.OfflinePartition(g, graph.DefaultPartitionOptions())
+
+	n := len(res.Instances)
+	if n > instances {
+		n = instances
+	}
+	visited := make([]map[int]bool, n) // instance -> vertex set
+	for i := 0; i < n; i++ {
+		visited[i] = make(map[int]bool)
+		for _, ev := range res.Instances[i].Trace.Events() {
+			if ev.Enforced {
+				continue
+			}
+			if v, ok := g.VertexOf(ev.To); ok {
+				visited[i][v] = true
+			}
+		}
+	}
+
+	explored := make([]map[int]bool, len(part.Groups))
+	for gi, grp := range part.Groups {
+		need := 2
+		if len(grp) < need {
+			need = len(grp)
+		}
+		per := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			count := 0
+			for _, v := range grp {
+				if visited[i][v] {
+					count++
+					if count >= need {
+						break
+					}
+				}
+			}
+			if count >= need {
+				per[i] = true
+			}
+		}
+		explored[gi] = per
+	}
+	return len(part.Groups), metrics.OverlapHistogram(explored, instances)
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"testing"
+
+	"taopt/internal/app"
+	"taopt/internal/apps"
+	"taopt/internal/sim"
+)
+
+func tinyConfig() CampaignConfig {
+	return CampaignConfig{
+		Apps:     []string{"Filters For Selfie"},
+		Tools:    []string{"monkey"},
+		Duration: 6 * sim.Duration(60e9),
+		Seed:     2,
+	}
+}
+
+func TestCampaignCellCaching(t *testing.T) {
+	c := NewCampaign(tinyConfig())
+	a, err := c.Cell("Filters For Selfie", "monkey", BaselineParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Cell("Filters For Selfie", "monkey", BaselineParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Cell call must return the cached summary")
+	}
+	if a.Union == 0 || len(a.Timeline) == 0 {
+		t.Fatal("summary not populated")
+	}
+}
+
+func TestCampaignBaselineCellsCarryTable1Data(t *testing.T) {
+	c := NewCampaign(tinyConfig())
+	base := c.MustCell("Filters For Selfie", "monkey", BaselineParallel)
+	if base.OfflineSubspaces == 0 {
+		t.Fatal("baseline cell missing the offline subspace partition")
+	}
+	total := 0
+	for _, v := range base.OverlapHist {
+		total += v
+	}
+	if total != base.OfflineSubspaces {
+		t.Fatalf("histogram sums to %d, want %d subspaces", total, base.OfflineSubspaces)
+	}
+	opt := c.MustCell("Filters For Selfie", "monkey", TaOPTDuration)
+	if opt.OverlapHist != nil {
+		t.Fatal("non-baseline cells must not compute Table 1 data")
+	}
+}
+
+func TestCampaignUnknownApp(t *testing.T) {
+	c := NewCampaign(tinyConfig())
+	if _, err := c.Cell("NopeApp", "monkey", BaselineParallel); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestCampaignDeterministicAcrossInstances(t *testing.T) {
+	r1 := NewCampaign(tinyConfig()).MustCell("Filters For Selfie", "monkey", TaOPTDuration)
+	r2 := NewCampaign(tinyConfig()).MustCell("Filters For Selfie", "monkey", TaOPTDuration)
+	if r1.Union != r2.Union || r1.UniqueCrashes != r2.UniqueCrashes || r1.DistinctUIs != r2.DistinctUIs {
+		t.Fatalf("campaign cells not reproducible: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestCampaignSeedChangesResults(t *testing.T) {
+	cfg1 := tinyConfig()
+	cfg2 := tinyConfig()
+	cfg2.Seed = 99
+	a := NewCampaign(cfg1).MustCell("Filters For Selfie", "monkey", BaselineParallel)
+	b := NewCampaign(cfg2).MustCell("Filters For Selfie", "monkey", BaselineParallel)
+	if a.Union == b.Union && a.DistinctUIs == b.DistinctUIs && a.UIOccAverage == b.UIOccAverage {
+		t.Fatal("different campaign seeds produced identical cells")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func() *RunResult {
+		res, err := Run(RunConfig{
+			App:      mustLoad(t, "Marvel Comics"),
+			Tool:     "wctester",
+			Setting:  TaOPTDuration,
+			Duration: 8 * sim.Duration(60e9),
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Union.Count() != b.Union.Count() {
+		t.Fatalf("coverage differs: %d vs %d", a.Union.Count(), b.Union.Count())
+	}
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatalf("instance counts differ: %d vs %d", len(a.Instances), len(b.Instances))
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Trace.Len() != b.Instances[i].Trace.Len() {
+			t.Fatalf("instance %d trace lengths differ", i)
+		}
+	}
+	if len(a.Subspaces) != len(b.Subspaces) {
+		t.Fatal("subspace counts differ")
+	}
+}
+
+func TestMachineTimeMatchesInstanceSum(t *testing.T) {
+	res, err := Run(RunConfig{
+		App:      mustLoad(t, "Filters For Selfie"),
+		Tool:     "monkey",
+		Setting:  BaselineParallel,
+		Duration: 6 * sim.Duration(60e9),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum sim.Duration
+	for _, inst := range res.Instances {
+		sum += inst.Released - inst.Allocated
+	}
+	if sum != res.MachineUsed {
+		t.Fatalf("machine time %v != per-instance sum %v", res.MachineUsed, sum)
+	}
+}
+
+func mustLoad(t *testing.T, name string) *app.App {
+	t.Helper()
+	a, err := apps.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}

@@ -1,0 +1,445 @@
+// Package harness executes testing campaigns: it wires an app, a testing
+// tool, a device farm and a parallelization strategy onto the discrete-event
+// scheduler and produces the measurements every table and figure of the
+// paper is computed from.
+package harness
+
+import (
+	"fmt"
+
+	"taopt/internal/app"
+	"taopt/internal/core"
+	"taopt/internal/coverage"
+	"taopt/internal/crash"
+	"taopt/internal/device"
+	"taopt/internal/metrics"
+	"taopt/internal/sim"
+	"taopt/internal/toller"
+	"taopt/internal/tools"
+	"taopt/internal/trace"
+	"taopt/internal/ui"
+)
+
+// Setting selects the parallelization setting of a run (Section 6.1 plus the
+// preliminary-study baselines).
+type Setting int
+
+// Run settings.
+const (
+	// BaselineParallel runs d_max uncoordinated instances for l_p each,
+	// differing only in random seeds (the paper's baseline).
+	BaselineParallel Setting = iota
+	// TaOPTDuration is TaOPT's duration-constrained mode.
+	TaOPTDuration
+	// TaOPTResource is TaOPT's resource-constrained mode.
+	TaOPTResource
+	// ActivityPartition is the ParaAim-style activity-granularity baseline
+	// of RQ2.
+	ActivityPartition
+	// SingleLong runs one instance for the whole machine-time budget
+	// (the RQ4 non-parallel comparison).
+	SingleLong
+	// PATSMasterSlave is the PATS-style master–slave baseline of Wen et
+	// al. [67] (Section 9's other related-work comparison).
+	PATSMasterSlave
+)
+
+func (s Setting) String() string {
+	switch s {
+	case BaselineParallel:
+		return "baseline"
+	case TaOPTDuration:
+		return "taopt-duration"
+	case TaOPTResource:
+		return "taopt-resource"
+	case ActivityPartition:
+		return "activity-partition"
+	case SingleLong:
+		return "single-long"
+	case PATSMasterSlave:
+		return "pats"
+	default:
+		return "unknown-setting"
+	}
+}
+
+// Defaults matching the paper's setup (Section 6.1).
+const (
+	DefaultInstances   = 5
+	DefaultDuration    = sim.Duration(3600e9) // l_p = 1 hour
+	DefaultSampleEvery = sim.Duration(10e9)   // 10 s
+)
+
+// RunConfig describes one campaign run.
+type RunConfig struct {
+	App     *app.App
+	Tool    string
+	Setting Setting
+	// Instances is d_max (default 5).
+	Instances int
+	// Duration is l_p, the wall-clock budget per run (default 1h).
+	Duration sim.Duration
+	// MachineBudget is the machine-time budget for TaOPTResource and the
+	// wall budget for SingleLong (default Instances × Duration).
+	MachineBudget sim.Duration
+	// Seed drives every random decision of the run.
+	Seed int64
+	// SampleEvery is the timeline sampling period (default 10s).
+	SampleEvery sim.Duration
+	// CoreConfig optionally overrides TaOPT's coordinator configuration
+	// (ablations); nil uses the mode's defaults.
+	CoreConfig *core.Config
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Instances == 0 {
+		c.Instances = DefaultInstances
+	}
+	if c.Duration == 0 {
+		c.Duration = DefaultDuration
+	}
+	if c.MachineBudget == 0 {
+		c.MachineBudget = sim.Duration(c.Instances) * c.Duration
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	return c
+}
+
+// InstanceResult is the outcome of one testing-instance allocation.
+type InstanceResult struct {
+	ID        int
+	Methods   *coverage.Set
+	Crashes   *crash.Log
+	Trace     *trace.Log
+	Allocated sim.Duration
+	Released  sim.Duration
+}
+
+// RunResult is the outcome of one campaign run.
+type RunResult struct {
+	Config    RunConfig
+	Instances []InstanceResult
+	Timeline  metrics.Timeline
+	// Union is the cumulative covered-method set across instances.
+	Union *coverage.Set
+	// UniqueCrashes counts distinct crash signatures across instances.
+	UniqueCrashes int
+	// WallUsed and MachineUsed are the consumed budgets.
+	WallUsed    sim.Duration
+	MachineUsed sim.Duration
+	// UIOccurrences counts tool-caused observations per distinct abstract
+	// screen across all instances (Table 6's raw data).
+	UIOccurrences map[ui.Signature]int
+	// Subspaces are TaOPT's accepted subspaces (nil for baselines).
+	Subspaces []*core.Subspace
+	// CoordinatorStats holds TaOPT's decision counters (nil for baselines).
+	CoordinatorStats *core.Stats
+	// Book is the campaign's screen registry.
+	Book *trace.Book
+}
+
+// InstanceSets returns the per-instance covered-method sets.
+func (r *RunResult) InstanceSets() []*coverage.Set {
+	out := make([]*coverage.Set, len(r.Instances))
+	for i := range r.Instances {
+		out[i] = r.Instances[i].Methods
+	}
+	return out
+}
+
+// Traces returns the per-instance transition logs.
+func (r *RunResult) Traces() []*trace.Log {
+	out := make([]*trace.Log, len(r.Instances))
+	for i := range r.Instances {
+		out[i] = r.Instances[i].Trace
+	}
+	return out
+}
+
+// UIOccurrenceAverage is Table 6's per-run statistic.
+func (r *RunResult) UIOccurrenceAverage() float64 {
+	return metrics.UIOccurrenceAverage(r.UIOccurrences)
+}
+
+// Run executes one campaign run to completion on virtual time.
+func Run(cfg RunConfig) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.App == nil {
+		return nil, fmt.Errorf("harness: RunConfig.App is nil")
+	}
+	if _, err := tools.New(cfg.Tool, 0); err != nil {
+		return nil, err
+	}
+	r := newRunner(cfg)
+	r.run()
+	return r.result(), nil
+}
+
+// actor drives one testing instance: tool chooses, driver performs, repeat.
+type actor struct {
+	id      int
+	al      *device.Allocation
+	driver  *toller.Driver
+	tool    tools.Tool
+	stopped bool
+}
+
+type runner struct {
+	cfg   RunConfig
+	sched *sim.Scheduler
+	farm  *device.Farm
+	book  *trace.Book
+	rng   *sim.RNG
+
+	strategy strategy
+	coord    *core.Coordinator // non-nil for TaOPT settings
+
+	actors map[int]*actor
+	order  []int // allocation order of actor ids
+
+	wallDeadline  sim.Duration // 0 = none
+	machineBudget sim.Duration // 0 = none
+	ended         bool
+
+	occurrences map[ui.Signature]int
+	timeline    metrics.Timeline
+}
+
+func newRunner(cfg RunConfig) *runner {
+	r := &runner{
+		cfg:         cfg,
+		sched:       sim.NewScheduler(),
+		book:        trace.NewBook(),
+		rng:         sim.NewRNG(cfg.Seed),
+		actors:      make(map[int]*actor),
+		occurrences: make(map[ui.Signature]int),
+	}
+
+	maxDevices := cfg.Instances
+	autoLogin := true
+	switch cfg.Setting {
+	case BaselineParallel, ActivityPartition, PATSMasterSlave:
+		r.wallDeadline = cfg.Duration
+	case TaOPTDuration:
+		r.wallDeadline = cfg.Duration
+	case TaOPTResource:
+		r.machineBudget = cfg.MachineBudget
+		// Safety cap so a degenerate run cannot spin forever: with at least
+		// one instance active, wall time can never exceed the machine
+		// budget, and idle gaps only ever shorten the run.
+		r.wallDeadline = 2 * cfg.MachineBudget
+	case SingleLong:
+		maxDevices = 1
+		r.wallDeadline = cfg.MachineBudget
+	}
+	r.farm = device.NewFarm(cfg.App, r.rng.Fork(1000003), maxDevices, autoLogin)
+	r.strategy = newStrategy(r)
+	return r
+}
+
+// --- core.Env implementation -------------------------------------------
+
+// Now implements core.Env.
+func (r *runner) Now() sim.Duration { return r.sched.Now() }
+
+// MaxInstances implements core.Env.
+func (r *runner) MaxInstances() int { return r.farm.MaxDevices() }
+
+// ActiveInstances implements core.Env.
+func (r *runner) ActiveInstances() []int {
+	als := r.farm.Active()
+	out := make([]int, len(als))
+	for i, al := range als {
+		out[i] = al.Emu.ID
+	}
+	return out
+}
+
+// Allocate implements core.Env: it boots an instance, attaches the Toller
+// driver and the tool, and schedules its first step.
+func (r *runner) Allocate() (int, bool) {
+	if r.ended {
+		return 0, false
+	}
+	now := r.sched.Now()
+	if r.wallDeadline != 0 && now >= r.wallDeadline {
+		return 0, false
+	}
+	al, err := r.farm.Allocate(now)
+	if err != nil {
+		return 0, false
+	}
+	id := al.Emu.ID
+	driver := toller.NewDriver(al.Emu, r.book, now)
+	a := &actor{
+		id:     id,
+		al:     al,
+		driver: driver,
+		tool:   tools.MustNew(r.cfg.Tool, r.rng.Fork(int64(id)).Int63()),
+	}
+	driver.Subscribe(toller.ListenerFunc(r.recordEvent))
+	driver.Subscribe(toller.ListenerFunc(r.strategy.onEvent))
+	r.actors[id] = a
+	r.order = append(r.order, id)
+	r.scheduleStep(a, 0)
+	return id, true
+}
+
+// Deallocate implements core.Env.
+func (r *runner) Deallocate(id int) {
+	a, ok := r.actors[id]
+	if !ok || a.stopped {
+		return
+	}
+	a.stopped = true
+	r.farm.Release(id, r.sched.Now())
+}
+
+// Blocks implements core.Env.
+func (r *runner) Blocks(id int) *toller.BlockSet {
+	a, ok := r.actors[id]
+	if !ok {
+		// The coordinator may race a just-deallocated instance; hand it a
+		// throwaway set rather than crash the run.
+		return toller.NewBlockSet()
+	}
+	return a.driver.Blocks()
+}
+
+// --- run loop ------------------------------------------------------------
+
+func (r *runner) recordEvent(ev trace.Event) {
+	if ev.Enforced {
+		return
+	}
+	r.occurrences[ev.To]++
+}
+
+func (r *runner) scheduleStep(a *actor, after sim.Duration) {
+	r.sched.After(after, sim.EventFunc(func(*sim.Scheduler) { r.step(a) }))
+}
+
+func (r *runner) step(a *actor) {
+	if a.stopped || r.ended {
+		return
+	}
+	now := r.sched.Now()
+	if r.wallDeadline != 0 && now >= r.wallDeadline {
+		r.Deallocate(a.id)
+		return
+	}
+	if r.machineBudget != 0 && r.farm.MachineTime(now) >= r.machineBudget {
+		r.endRun()
+		return
+	}
+	v := a.driver.View()
+	act := a.tool.Choose(v)
+	res := a.driver.Perform(act, now)
+	if a.stopped || r.ended {
+		// The strategy de-allocated this instance (stagnation) or ended the
+		// run while handling the transition events.
+		return
+	}
+	r.scheduleStep(a, res.Latency)
+}
+
+func (r *runner) endRun() {
+	if r.ended {
+		return
+	}
+	r.ended = true
+	now := r.sched.Now()
+	for _, a := range r.actors {
+		a.stopped = true
+	}
+	r.farm.ReleaseAll(now)
+	r.sched.Halt()
+}
+
+func (r *runner) sample() {
+	now := r.sched.Now()
+	als := r.farm.All()
+	if len(als) == 0 {
+		return
+	}
+	sets := make([]*coverage.Set, len(als))
+	logs := make([]*crash.Log, len(als))
+	for i, al := range als {
+		sets[i] = al.Emu.Coverage
+		logs[i] = al.Emu.Crashes
+	}
+	p := metrics.Point{
+		Wall:    now,
+		Machine: r.farm.MachineTime(now),
+		Covered: coverage.UnionOf(sets).Count(),
+		Crashes: crash.UniqueUnion(logs),
+	}
+	if len(sets) > 1 {
+		p.AJS = metrics.AJS(sets)
+	}
+	r.timeline = append(r.timeline, p)
+}
+
+func (r *runner) run() {
+	r.strategy.start()
+	// Periodic sampling until the run winds down.
+	var tick func(*sim.Scheduler)
+	tick = func(*sim.Scheduler) {
+		if r.ended {
+			return
+		}
+		r.sample()
+		if r.wallDeadline != 0 && r.sched.Now() >= r.wallDeadline {
+			return
+		}
+		r.sched.After(r.cfg.SampleEvery, sim.EventFunc(tick))
+	}
+	r.sched.After(r.cfg.SampleEvery, sim.EventFunc(tick))
+
+	r.sched.Run(r.wallDeadline)
+	if !r.ended {
+		r.ended = true
+		r.farm.ReleaseAll(r.sched.Now())
+	}
+	r.sample()
+}
+
+func (r *runner) result() *RunResult {
+	res := &RunResult{
+		Config:        r.cfg,
+		Timeline:      r.timeline,
+		WallUsed:      r.sched.Now(),
+		MachineUsed:   r.farm.MachineTime(r.sched.Now()),
+		UIOccurrences: r.occurrences,
+		Book:          r.book,
+	}
+	for _, id := range r.order {
+		a := r.actors[id]
+		res.Instances = append(res.Instances, InstanceResult{
+			ID:        id,
+			Methods:   a.al.Emu.Coverage,
+			Crashes:   a.al.Emu.Crashes,
+			Trace:     a.driver.Trace(),
+			Allocated: a.al.Since,
+			Released:  a.al.Until,
+		})
+	}
+	if len(res.Instances) > 0 {
+		res.Union = coverage.UnionOf(res.InstanceSets())
+		logs := make([]*crash.Log, len(res.Instances))
+		for i := range res.Instances {
+			logs[i] = res.Instances[i].Crashes
+		}
+		res.UniqueCrashes = crash.UniqueUnion(logs)
+	} else {
+		res.Union = coverage.NewSet(r.cfg.App.MethodCount())
+	}
+	if r.coord != nil {
+		res.Subspaces = r.coord.Subspaces()
+		st := r.coord.DecisionStats()
+		res.CoordinatorStats = &st
+	}
+	return res
+}

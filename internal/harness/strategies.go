@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"sort"
+
+	"taopt/internal/core"
+	"taopt/internal/trace"
+)
+
+// strategy is a parallelization strategy driving a run: it allocates
+// instances and may react to transition events. TaOPT's coordinator is one
+// implementation; the preliminary-study baselines are the others.
+type strategy interface {
+	start()
+	onEvent(ev trace.Event)
+}
+
+func newStrategy(r *runner) strategy {
+	switch r.cfg.Setting {
+	case BaselineParallel:
+		return &uncoordinated{r: r, n: r.cfg.Instances}
+	case SingleLong:
+		return &uncoordinated{r: r, n: 1}
+	case ActivityPartition:
+		return &activityPartition{r: r}
+	case PATSMasterSlave:
+		return newPATS(r)
+	case TaOPTDuration:
+		return newTaOPT(r, core.DurationConstrained)
+	case TaOPTResource:
+		return newTaOPT(r, core.ResourceConstrained)
+	default:
+		panic("harness: unknown setting")
+	}
+}
+
+// uncoordinated launches n instances and never intervenes: parallelization
+// by intrinsic randomness only (RQ1's baseline, and the 5-hour single run
+// with n = 1).
+type uncoordinated struct {
+	r *runner
+	n int
+}
+
+func (s *uncoordinated) start() {
+	for i := 0; i < s.n; i++ {
+		s.r.Allocate()
+	}
+}
+
+func (s *uncoordinated) onEvent(trace.Event) {}
+
+// activityPartition is the ParaAim-style baseline of RQ2: the app's Activity
+// set (as a static analysis would extract it) is split round-robin across
+// instances, and each instance is confined to its share. The launcher
+// activity stays allowed everywhere — an instance that cannot even hold the
+// home screen could not run at all.
+type activityPartition struct {
+	r *runner
+}
+
+func (s *activityPartition) start() {
+	r := s.r
+	acts := append([]string(nil), r.cfg.App.Activities()...)
+	sort.Strings(acts)
+	launcher := r.cfg.App.Screen(r.cfg.App.Main).Activity
+
+	shares := make([][]string, r.cfg.Instances)
+	slot := 0
+	for _, a := range acts {
+		if a == launcher {
+			continue
+		}
+		shares[slot%r.cfg.Instances] = append(shares[slot%r.cfg.Instances], a)
+		slot++
+	}
+	for i := 0; i < r.cfg.Instances; i++ {
+		id, ok := r.Allocate()
+		if !ok {
+			break
+		}
+		allowed := append([]string{launcher}, shares[i]...)
+		if r.cfg.App.LoginRequired {
+			allowed = append(allowed, r.cfg.App.Screen(r.cfg.App.Login).Activity)
+		}
+		r.Blocks(id).RestrictActivities(allowed)
+	}
+}
+
+func (s *activityPartition) onEvent(trace.Event) {}
+
+// taopt adapts core.Coordinator to the strategy interface.
+type taopt struct {
+	coord *core.Coordinator
+}
+
+func newTaOPT(r *runner, mode core.Mode) *taopt {
+	cfg := core.DefaultConfig(mode)
+	if r.cfg.CoreConfig != nil {
+		cfg = *r.cfg.CoreConfig
+		cfg.Mode = mode
+	}
+	coord := core.NewCoordinator(cfg, r, r.book)
+	r.coord = coord
+	return &taopt{coord: coord}
+}
+
+func (s *taopt) start() { s.coord.Start() }
+
+func (s *taopt) onEvent(ev trace.Event) { s.coord.OnTransition(ev) }

@@ -1,0 +1,453 @@
+// Package report regenerates every table and figure of the paper's
+// preliminary study (Section 3) and evaluation (Section 6) from a harness
+// campaign, printing the same rows and series the paper reports.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Figure3 — Jaccard similarity of covered methods over time, per tool
+//	Table1  — UI-subspace exploration overlap histogram
+//	Table2  — activity-based parallelization vs baseline (WCTester)
+//	Figure5 — testing duration saved by TaOPT
+//	Figure6 — machine time saved by TaOPT
+//	Table4  — cumulative method coverage per app × tool × setting
+//	Table5  — distinct crashes per app × tool × setting
+//	Table6  — UI overlap per app × tool × setting
+//	SingleLong — 5-hour non-parallel coverage comparison (RQ4 aside)
+//	Preservation — behaviour preservation of TaOPT vs baseline (RQ5 aside)
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"taopt/internal/harness"
+	"taopt/internal/metrics"
+	"taopt/internal/sim"
+)
+
+// toolLabel maps registry names to the paper's column labels.
+func toolLabel(tool string) string {
+	switch tool {
+	case "monkey":
+		return "Mon."
+	case "ape":
+		return "Ape"
+	case "wctester":
+		return "WCT."
+	default:
+		return tool
+	}
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// Figure3 prints the AJS-over-time series for baseline parallelization, one
+// series per tool, averaged across the campaign's apps (the paper's Figure 3:
+// overlap rises over the hour; Ape highest).
+func Figure3(w io.Writer, c *harness.Campaign) error {
+	header(w, "Figure 3: Overlaps of methods covered by different testing instances (baseline)")
+	fmt.Fprintf(w, "%-12s", "time(s)")
+	for _, tool := range c.Tools() {
+		fmt.Fprintf(w, "%10s", toolLabel(tool))
+	}
+	fmt.Fprintln(w)
+
+	// Sample the series at 10 evenly spaced times.
+	dur := c.Config().Duration
+	steps := 10
+	for i := 1; i <= steps; i++ {
+		at := dur * sim.Duration(i) / sim.Duration(steps)
+		fmt.Fprintf(w, "%-12.0f", at.Seconds())
+		for _, tool := range c.Tools() {
+			var sum float64
+			var n int
+			for _, app := range c.Apps() {
+				cell, err := c.Cell(app, tool, harness.BaselineParallel)
+				if err != nil {
+					return err
+				}
+				if v, ok := ajsAt(cell.Timeline, at); ok {
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				fmt.Fprintf(w, "%10s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%10.3f", sum/float64(n))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ajsAt returns the AJS of the latest sample at or before t.
+func ajsAt(tl metrics.Timeline, t sim.Duration) (float64, bool) {
+	var v float64
+	found := false
+	for _, p := range tl {
+		if p.Wall > t {
+			break
+		}
+		v = p.AJS
+		found = true
+	}
+	return v, found
+}
+
+// Table1 prints the UI-subspace exploration overlap histogram aggregated
+// over all (app, tool) baseline runs.
+func Table1(w io.Writer, c *harness.Campaign) error {
+	header(w, "Table 1: Overlaps of UI subspace exploration (baseline)")
+	n := c.Config().Instances
+	hist := make([]int, n)
+	total := 0
+	for _, tool := range c.Tools() {
+		for _, app := range c.Apps() {
+			cell, err := c.Cell(app, tool, harness.BaselineParallel)
+			if err != nil {
+				return err
+			}
+			for i, v := range cell.OverlapHist {
+				if i < n {
+					hist[i] += v
+					total += v
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-16s", "Overlap freq.")
+	for k := 1; k <= n; k++ {
+		fmt.Fprintf(w, "%12s", fmt.Sprintf("%d/%d", k, n))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-16s", "# of subspaces")
+	for _, v := range hist {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(v) / float64(total)
+		}
+		fmt.Fprintf(w, "%12s", fmt.Sprintf("%d (%.0f%%)", v, pct))
+	}
+	fmt.Fprintln(w)
+	shared := 0
+	for k := 1; k < n; k++ {
+		shared += hist[k]
+	}
+	fmt.Fprintf(w, "Total subspaces: %d; explored by >1 instance: %d (%.0f%%)\n",
+		total, shared, pct(shared, total))
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// Table2 prints WCTester's method coverage under activity-based
+// parallelization vs baseline, per app (the paper's Table 2: −28.5% average).
+func Table2(w io.Writer, c *harness.Campaign) error {
+	header(w, "Table 2: Method coverage of WCTester under activity-based parallelization")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "App Name\tBaseline\tParallel\tRel. Improve.")
+	var sumBase, sumPar int
+	for _, app := range c.Apps() {
+		base, err := c.Cell(app, "wctester", harness.BaselineParallel)
+		if err != nil {
+			return err
+		}
+		par, err := c.Cell(app, "wctester", harness.ActivityPartition)
+		if err != nil {
+			return err
+		}
+		sumBase += base.Union
+		sumPar += par.Union
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%+.1f%%\n", app, base.Union, par.Union, relDelta(base.Union, par.Union))
+	}
+	nApps := len(c.Apps())
+	fmt.Fprintf(tw, "Average\t%d\t%d\t%+.1f%%\n", sumBase/nApps, sumPar/nApps, relDelta(sumBase, sumPar))
+	return tw.Flush()
+}
+
+func relDelta(base, got int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(got-base) / float64(base)
+}
+
+// Figure5 prints the testing-duration savings statistics per tool and TaOPT
+// mode (the paper's Figure 5 box plot, as summary rows).
+func Figure5(w io.Writer, c *harness.Campaign) error {
+	header(w, "Figure 5: Testing duration saved by TaOPT (percent of l_p)")
+	return savingsFigure(w, c, true)
+}
+
+// Figure6 prints the machine-time savings statistics per tool and TaOPT mode
+// (the paper's Figure 6).
+func Figure6(w io.Writer, c *harness.Campaign) error {
+	header(w, "Figure 6: Testing resources (machine time) saved by TaOPT (percent of budget)")
+	return savingsFigure(w, c, false)
+}
+
+func savingsFigure(w io.Writer, c *harness.Campaign, duration bool) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Tool\tMode\tMean\tMedian\tP25\tP75\tMin\tMax")
+	lp := c.Config().Duration
+	budget := sim.Duration(c.Config().Instances) * lp
+	for _, tool := range c.Tools() {
+		for _, setting := range []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource} {
+			var vals []float64
+			for _, app := range c.Apps() {
+				base, err := c.Cell(app, tool, harness.BaselineParallel)
+				if err != nil {
+					return err
+				}
+				cell, err := c.Cell(app, tool, setting)
+				if err != nil {
+					return err
+				}
+				var saved float64
+				if duration {
+					saved = metrics.DurationSaved(cell.Timeline, base.Union, lp)
+				} else {
+					saved = metrics.ResourceSaved(cell.Timeline, base.Union, budget)
+				}
+				vals = append(vals, 100*saved)
+			}
+			st := metrics.Summarize(vals)
+			fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+				toolLabel(tool), setting, st.Mean, st.Median, st.P25, st.P75, st.Min, st.Max)
+		}
+	}
+	return tw.Flush()
+}
+
+// Table4 prints cumulative code coverage per app × tool × setting with the
+// paper's Δ annotations.
+func Table4(w io.Writer, c *harness.Campaign) error {
+	header(w, "Table 4: Statistics of cumulative code coverage")
+	return perAppTable(w, c, func(cell *harness.CellSummary) float64 { return float64(cell.Union) }, "%d")
+}
+
+// Table5 prints distinct crashes per app × tool × setting.
+func Table5(w io.Writer, c *harness.Campaign) error {
+	header(w, "Table 5: Statistics of distinct crashes")
+	return perAppTable(w, c, func(cell *harness.CellSummary) float64 { return float64(cell.UniqueCrashes) }, "%d")
+}
+
+// Table6 prints the UI overlap (average occurrences of distinct abstract
+// UIs) per app × tool × setting, with the paper's Δ reduction row.
+func Table6(w io.Writer, c *harness.Campaign) error {
+	header(w, "Table 6: UI overlap measured by the average # of occurrences of distinct UIs")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	settings := []harness.Setting{harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource}
+	fmt.Fprint(tw, "App Name")
+	for _, s := range settings {
+		for _, tool := range c.Tools() {
+			fmt.Fprintf(tw, "\t%s %s", shortSetting(s), toolLabel(tool))
+		}
+	}
+	fmt.Fprintln(tw)
+	sums := make([]float64, len(settings)*len(c.Tools()))
+	for _, app := range c.Apps() {
+		fmt.Fprint(tw, app)
+		i := 0
+		for _, s := range settings {
+			for _, tool := range c.Tools() {
+				cell, err := c.Cell(app, tool, s)
+				if err != nil {
+					return err
+				}
+				sums[i] += cell.UIOccAverage
+				fmt.Fprintf(tw, "\t%.1f", cell.UIOccAverage)
+				i++
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	nApps := float64(len(c.Apps()))
+	fmt.Fprint(tw, "Average")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "\t%.1f", s/nApps)
+	}
+	fmt.Fprintln(tw)
+	// Δ rows: relative overlap reduction vs baseline per tool and mode.
+	nt := len(c.Tools())
+	fmt.Fprint(tw, "Δ vs baseline")
+	for i := range sums {
+		if i < nt {
+			fmt.Fprint(tw, "\t-")
+			continue
+		}
+		base := sums[i%nt]
+		if base == 0 {
+			fmt.Fprint(tw, "\t-")
+			continue
+		}
+		fmt.Fprintf(tw, "\t%.1f%%", 100*(base-sums[i])/base)
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+func shortSetting(s harness.Setting) string {
+	switch s {
+	case harness.BaselineParallel:
+		return "Base"
+	case harness.TaOPTDuration:
+		return "TaOPT(D)"
+	case harness.TaOPTResource:
+		return "TaOPT(R)"
+	default:
+		return s.String()
+	}
+}
+
+// perAppTable renders the Table 4/5 layout: baseline and both TaOPT modes
+// per tool, with per-cell Δ percentages and the average Δ footer.
+func perAppTable(w io.Writer, c *harness.Campaign, value func(*harness.CellSummary) float64, format string) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	settings := []harness.Setting{harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource}
+	fmt.Fprint(tw, "App Name")
+	for _, s := range settings {
+		for _, tool := range c.Tools() {
+			fmt.Fprintf(tw, "\t%s %s", shortSetting(s), toolLabel(tool))
+		}
+	}
+	fmt.Fprintln(tw)
+
+	nt := len(c.Tools())
+	sums := make([]float64, len(settings)*nt)
+	for _, app := range c.Apps() {
+		fmt.Fprint(tw, app)
+		var baseVals []float64
+		i := 0
+		for _, s := range settings {
+			for _, tool := range c.Tools() {
+				cell, err := c.Cell(app, tool, s)
+				if err != nil {
+					return err
+				}
+				v := value(cell)
+				sums[i] += v
+				if s == harness.BaselineParallel {
+					baseVals = append(baseVals, v)
+					fmt.Fprintf(tw, "\t"+format, int(v))
+				} else {
+					base := baseVals[i%nt]
+					if base > 0 {
+						fmt.Fprintf(tw, "\t"+format+" (%+.0f%%)", int(v), 100*(v-base)/base)
+					} else {
+						fmt.Fprintf(tw, "\t"+format, int(v))
+					}
+				}
+				i++
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	nApps := float64(len(c.Apps()))
+	fmt.Fprint(tw, "Average")
+	for i, s := range sums {
+		avg := s / nApps
+		if i < nt {
+			fmt.Fprintf(tw, "\t%.0f", avg)
+		} else {
+			base := sums[i%nt]
+			if base > 0 {
+				fmt.Fprintf(tw, "\t%.0f (%+.1f%%)", avg, 100*(s-base)/base)
+			} else {
+				fmt.Fprintf(tw, "\t%.0f", avg)
+			}
+		}
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// SingleLong prints the RQ4 aside: one 5-hour instance vs the parallel
+// settings, averaged over apps.
+func SingleLong(w io.Writer, c *harness.Campaign) error {
+	header(w, "RQ4 aside: 5-hour non-parallel runs vs parallel runs (average coverage)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Tool\tSingle 5h\tBaseline 5×1h\tTaOPT(D)\tTaOPT(R)")
+	for _, tool := range c.Tools() {
+		var single, base, dur, res float64
+		for _, app := range c.Apps() {
+			s, err := c.Cell(app, tool, harness.SingleLong)
+			if err != nil {
+				return err
+			}
+			b, err := c.Cell(app, tool, harness.BaselineParallel)
+			if err != nil {
+				return err
+			}
+			d, err := c.Cell(app, tool, harness.TaOPTDuration)
+			if err != nil {
+				return err
+			}
+			r, err := c.Cell(app, tool, harness.TaOPTResource)
+			if err != nil {
+				return err
+			}
+			single += float64(s.Union)
+			base += float64(b.Union)
+			dur += float64(d.Union)
+			res += float64(r.Union)
+		}
+		n := float64(len(c.Apps()))
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n", toolLabel(tool), single/n, base/n, dur/n, res/n)
+	}
+	return tw.Flush()
+}
+
+// Preservation prints the RQ5 behaviour-preservation analysis: Jaccard
+// similarity between baseline and TaOPT covered-method sets, and the
+// fraction of baseline methods TaOPT misses.
+func Preservation(w io.Writer, c *harness.Campaign) error {
+	header(w, "RQ5 aside: behaviour preservation (TaOPT vs baseline covered methods)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Tool\tMode\tJaccard\tBaseline methods missed")
+	for _, tool := range c.Tools() {
+		for _, setting := range []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource} {
+			var sumJ, sumM float64
+			for _, app := range c.Apps() {
+				base, err := c.Cell(app, tool, harness.BaselineParallel)
+				if err != nil {
+					return err
+				}
+				cell, err := c.Cell(app, tool, setting)
+				if err != nil {
+					return err
+				}
+				j, m := metrics.BehaviorPreservation(base.UnionSet, cell.UnionSet)
+				sumJ += j
+				sumM += m
+			}
+			n := float64(len(c.Apps()))
+			fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.1f%%\n", toolLabel(tool), setting, sumJ/n, 100*sumM/n)
+		}
+	}
+	return tw.Flush()
+}
+
+// All regenerates every table and figure in paper order.
+func All(w io.Writer, c *harness.Campaign) error {
+	steps := []func(io.Writer, *harness.Campaign) error{
+		Figure3, Table1, Table2, Figure5, Figure6, Table4, Table5, Table6, SingleLong, Preservation,
+	}
+	for _, step := range steps {
+		if err := step(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of simulated work. Fire is invoked when the scheduler's
+// clock reaches the event's due time. Fire may schedule further events.
+type Event interface {
+	Fire(s *Scheduler)
+}
+
+// EventFunc adapts a plain function to the Event interface.
+type EventFunc func(s *Scheduler)
+
+// Fire calls f(s).
+func (f EventFunc) Fire(s *Scheduler) { f(s) }
+
+type scheduled struct {
+	at  Duration
+	seq uint64 // tie-breaker: FIFO among events due at the same instant
+	ev  Event
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(scheduled)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is a deterministic discrete-event loop. Events scheduled for the
+// same instant fire in the order they were scheduled. Scheduler is not safe
+// for concurrent use; the whole simulation is single-threaded by design so
+// that runs are exactly reproducible.
+type Scheduler struct {
+	clock Clock
+	heap  eventHeap
+	seq   uint64
+	halt  bool
+}
+
+// NewScheduler returns an empty scheduler at virtual time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Duration { return s.clock.Now() }
+
+// At schedules ev to fire at absolute virtual time t. Scheduling in the past
+// fires the event at the current time (ordering after already-queued events
+// for that instant).
+func (s *Scheduler) At(t Duration, ev Event) {
+	if t < s.clock.Now() {
+		t = s.clock.Now()
+	}
+	s.seq++
+	heap.Push(&s.heap, scheduled{at: t, seq: s.seq, ev: ev})
+}
+
+// After schedules ev to fire d after the current virtual time.
+func (s *Scheduler) After(d Duration, ev Event) { s.At(s.clock.Now()+d, ev) }
+
+// Halt stops the run loop after the currently firing event returns.
+// Pending events are discarded by Run.
+func (s *Scheduler) Halt() { s.halt = true }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Run fires events in order until the queue is empty, the clock passes
+// deadline (events due strictly after deadline are not fired), or Halt is
+// called. It returns the virtual time at which the loop stopped.
+//
+// A zero deadline means "no deadline".
+func (s *Scheduler) Run(deadline Duration) Duration {
+	s.halt = false
+	for len(s.heap) > 0 && !s.halt {
+		next := s.heap[0]
+		if deadline != 0 && next.at > deadline {
+			s.clock.advance(deadline)
+			break
+		}
+		heap.Pop(&s.heap)
+		s.clock.advance(next.at)
+		next.ev.Fire(s)
+	}
+	if s.halt {
+		s.heap = s.heap[:0]
+	}
+	return s.clock.Now()
+}

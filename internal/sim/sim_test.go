@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	c.advance(5)
+	if c.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", c.Now())
+	}
+	c.advance(5) // same instant is fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards clock")
+		}
+	}()
+	c.advance(4)
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter(100)
+	if m.Exhausted() {
+		t.Fatal("fresh meter exhausted")
+	}
+	if m.Charge(60) {
+		t.Fatal("60/100 should not exhaust")
+	}
+	if got := m.Remaining(); got != 40 {
+		t.Fatalf("Remaining = %v, want 40", got)
+	}
+	if !m.Charge(50) {
+		t.Fatal("110/100 should exhaust")
+	}
+	if m.Used() != 110 {
+		t.Fatalf("Used = %v, want 110", m.Used())
+	}
+
+	unlimited := NewMeter(0)
+	unlimited.Charge(1 << 40)
+	if unlimited.Exhausted() {
+		t.Fatal("unlimited meter exhausted")
+	}
+}
+
+func TestMeterNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative charge")
+		}
+	}()
+	NewMeter(10).Charge(-1)
+}
+
+func TestSchedulerFiresInOrder(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	s.At(30, EventFunc(func(*Scheduler) { fired = append(fired, 3) }))
+	s.At(10, EventFunc(func(*Scheduler) { fired = append(fired, 1) }))
+	s.At(20, EventFunc(func(*Scheduler) { fired = append(fired, 2) }))
+	end := s.Run(0)
+	if end != 30 {
+		t.Fatalf("end = %v, want 30", end)
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want [1 2 3]", fired)
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, EventFunc(func(*Scheduler) { fired = append(fired, i) }))
+	}
+	s.Run(0)
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", fired)
+		}
+	}
+}
+
+func TestSchedulerDeadline(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.At(10, EventFunc(func(*Scheduler) { fired++ }))
+	s.At(50, EventFunc(func(*Scheduler) { fired++ }))
+	end := s.Run(20)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (event past deadline must not fire)", fired)
+	}
+	if end != 20 {
+		t.Fatalf("end = %v, want clock parked at deadline 20", end)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestSchedulerHalt(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.At(1, EventFunc(func(sc *Scheduler) { fired++; sc.Halt() }))
+	s.At(2, EventFunc(func(*Scheduler) { fired++ }))
+	s.Run(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 after Halt", fired)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("Halt must drain the queue")
+	}
+}
+
+func TestSchedulerEventsCanSchedule(t *testing.T) {
+	s := NewScheduler()
+	depth := 0
+	var step func(*Scheduler)
+	step = func(sc *Scheduler) {
+		depth++
+		if depth < 100 {
+			sc.After(3, EventFunc(step))
+		}
+	}
+	s.After(3, EventFunc(step))
+	end := s.Run(0)
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if end != 300 {
+		t.Fatalf("end = %v, want 300", end)
+	}
+}
+
+func TestSchedulerPastEventFiresNow(t *testing.T) {
+	s := NewScheduler()
+	var at Duration = -1
+	s.At(10, EventFunc(func(sc *Scheduler) {
+		sc.At(5, EventFunc(func(sc2 *Scheduler) { at = sc2.Now() }))
+	}))
+	s.Run(0)
+	if at != 10 {
+		t.Fatalf("past-scheduled event fired at %v, want 10", at)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	root := NewRNG(7)
+	f1 := root.Fork(1)
+	f2 := root.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with different labels should diverge")
+	}
+	// Forking must not perturb the parent stream.
+	a := NewRNG(7)
+	a.Fork(1)
+	b := NewRNG(7)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork perturbed the parent stream")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnUniformish(t *testing.T) {
+	r := NewRNG(3)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		if c < trials/n*8/10 || c > trials/n*12/10 {
+			t.Fatalf("bucket %d has %d of %d draws; far from uniform", i, c, trials)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(4)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGWeightedIndex(t *testing.T) {
+	r := NewRNG(5)
+	w := []float64{0, 1, 0, 3}
+	counts := make([]int, len(w))
+	for i := 0; i < 40000; i++ {
+		counts[r.WeightedIndex(w)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Fatalf("zero-weight indexes drawn: %v", counts)
+	}
+	ratio := float64(counts[3]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio = %.2f, want ≈3", ratio)
+	}
+	// All-zero weights fall back to uniform.
+	z := r.WeightedIndex([]float64{0, 0})
+	if z != 0 && z != 1 {
+		t.Fatalf("fallback index out of range: %d", z)
+	}
+}
+
+func TestRNGDurationBetween(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		d := r.DurationBetween(100, 200)
+		if d < 100 || d > 200 {
+			t.Fatalf("duration %v out of [100, 200]", d)
+		}
+	}
+	if d := r.DurationBetween(50, 50); d != 50 {
+		t.Fatalf("degenerate range: %v", d)
+	}
+}

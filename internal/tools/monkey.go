@@ -1,0 +1,55 @@
+package tools
+
+import (
+	"taopt/internal/device"
+	"taopt/internal/sim"
+	"taopt/internal/toller"
+)
+
+// Monkey models the Android UI/Application Exerciser Monkey: a stream of
+// pseudo-random events with no awareness of UI semantics. Monkey taps random
+// screen coordinates, so a sizeable fraction of its events hit nothing
+// interactive (modelled as re-tapping the same element or an inert area) and
+// it injects Back events at a fixed ratio.
+type Monkey struct {
+	rng  *sim.RNG
+	last device.Action
+	has  bool
+}
+
+// Monkey event mix, loosely matching the real tool's default event table.
+const (
+	monkeyBackProb   = 0.10
+	monkeyRepeatProb = 0.18 // coordinate taps often hit the same element twice
+)
+
+// NewMonkey returns a Monkey stream with the given seed.
+func NewMonkey(seed int64) *Monkey { return &Monkey{rng: sim.NewRNG(seed)} }
+
+// Name implements Tool.
+func (m *Monkey) Name() string { return "monkey" }
+
+// Choose implements Tool: a uniformly random enabled element, occasionally
+// Back, occasionally a repeat of the previous tap.
+func (m *Monkey) Choose(v toller.View) device.Action {
+	if m.rng.Bool(monkeyBackProb) {
+		m.has = false
+		return backAction(v)
+	}
+	ts := taps(v)
+	if len(ts) == 0 {
+		m.has = false
+		return backAction(v)
+	}
+	if m.has && m.rng.Bool(monkeyRepeatProb) {
+		// Repeat the previous tap if that element is still present/enabled.
+		for _, a := range ts {
+			if a.Path == m.last.Path {
+				return a
+			}
+		}
+	}
+	a := ts[m.rng.Intn(len(ts))]
+	m.last, m.has = a, true
+	return a
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+
+	"taopt/internal/ui"
+)
+
+func mkScreen(activity, res string) *ui.Screen {
+	return &ui.Screen{Activity: activity, Root: &ui.Node{
+		Class: "FrameLayout", ResourceID: res, Enabled: true,
+		Children: []*ui.Node{{Class: "Button", ResourceID: res + "_b", Text: "hello", Enabled: true, Clickable: true}},
+	}}
+}
+
+func TestActionKindString(t *testing.T) {
+	for kind, want := range map[ActionKind]string{
+		ActionLaunch: "launch", ActionTap: "tap", ActionBack: "back", ActionKind(99): "unknown",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}
+
+func TestLogScreens(t *testing.T) {
+	var l Log
+	l.Append(Event{At: 5, To: ui.Signature(1)})
+	l.Append(Event{At: 9, To: ui.Signature(2)})
+	sigs, times := l.Screens()
+	if len(sigs) != 2 || sigs[1] != ui.Signature(2) || times[0] != 5 {
+		t.Fatalf("Screens = %v %v", sigs, times)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestBookDedup(t *testing.T) {
+	b := NewBook()
+	s1 := mkScreen("A", "r1")
+	s2 := mkScreen("A", "r1") // same structure, would-be different text
+	s2.Root.Children[0].Text = "different"
+	s3 := mkScreen("B", "r1")
+
+	sig1 := b.Observe(s1)
+	sig2 := b.Observe(s2)
+	sig3 := b.Observe(s3)
+	if sig1 != sig2 {
+		t.Fatal("text variants must share a signature")
+	}
+	if sig1 == sig3 {
+		t.Fatal("different activities must not collide")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Book.Len = %d, want 2", b.Len())
+	}
+	if got := b.Signatures(); len(got) != 2 || got[0] != sig1 {
+		t.Fatalf("Signatures = %v", got)
+	}
+	if b.Lookup(sig3).Activity != "B" {
+		t.Fatal("Lookup returned wrong exemplar")
+	}
+	if b.Lookup(ui.Signature(12345)) != nil {
+		t.Fatal("Lookup of unknown signature must be nil")
+	}
+}
+
+func TestBookClonesExemplar(t *testing.T) {
+	b := NewBook()
+	s := mkScreen("A", "r1")
+	sig := b.Observe(s)
+	s.Root.Children[0].ResourceID = "mutated"
+	if b.Lookup(sig).Root.Children[0].ResourceID == "mutated" {
+		t.Fatal("Book must clone observed screens")
+	}
+}

@@ -1,0 +1,81 @@
+package taopt
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickRun exercises the facade the way a downstream user
+// would: load an app, run a short TaOPT campaign, read the results.
+func TestPublicAPIQuickRun(t *testing.T) {
+	app := LoadApp("Filters For Selfie")
+	res, err := Run(RunConfig{
+		App:      app,
+		Tool:     "monkey",
+		Setting:  TaOPTDuration,
+		Duration: 10 * Minute,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Union.Count() == 0 {
+		t.Fatal("no coverage")
+	}
+	if res.WallUsed != 10*Minute {
+		t.Fatalf("wall = %v", res.WallUsed)
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	if got := len(CatalogNames()); got != 18 {
+		t.Fatalf("catalog = %d apps", got)
+	}
+	if got := len(ToolNames()); got != 3 {
+		t.Fatalf("tools = %d", got)
+	}
+}
+
+func TestPublicAPIGenerate(t *testing.T) {
+	spec := NewAppSpec("MyApp", 5)
+	spec.Subspaces = 4
+	app := GenerateApp(spec)
+	if app.Name != "MyApp" || app.Subspaces != 5 {
+		t.Fatalf("generated app: %s, %d subspaces", app.Name, app.Subspaces)
+	}
+	demo := MotivatingExample()
+	if demo.Name != "ShopDemo" {
+		t.Fatal("motivating example missing")
+	}
+}
+
+func TestPublicAPIBaselineVsTaOPTOverlap(t *testing.T) {
+	// The headline claim at demo scale: TaOPT reduces UI overlap.
+	app := LoadApp("Filters For Selfie")
+	base, err := Run(RunConfig{App: app, Tool: "monkey", Setting: Baseline, Duration: 15 * Minute, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Run(RunConfig{App: app, Tool: "monkey", Setting: TaOPTDuration, Duration: 15 * Minute, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.UIOccurrenceAverage() >= base.UIOccurrenceAverage() {
+		t.Fatalf("TaOPT did not reduce UI overlap: %.1f vs %.1f",
+			opt.UIOccurrenceAverage(), base.UIOccurrenceAverage())
+	}
+}
+
+func TestPublicAPICoordinatorConfig(t *testing.T) {
+	cfg := DefaultCoordinatorConfig(DurationConstrained)
+	if cfg.Mode != DurationConstrained {
+		t.Fatal("mode")
+	}
+	cfg.Stagnation = 20 * Minute
+	app := LoadApp("Filters For Selfie")
+	if _, err := Run(RunConfig{
+		App: app, Tool: "ape", Setting: TaOPTDuration,
+		Duration: 5 * Minute, Seed: 3, CoreConfig: &cfg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
