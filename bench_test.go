@@ -28,6 +28,15 @@ var benchApps = []string{"Filters For Selfie", "Marvel Comics"}
 
 const benchMinutes = 12
 
+func mustCell(tb testing.TB, c *harness.Campaign, app, tool string, s harness.Setting) *harness.CellSummary {
+	tb.Helper()
+	cell, err := c.Cell(app, tool, s)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cell
+}
+
 func benchCampaign(seed int64) *harness.Campaign {
 	return harness.NewCampaign(harness.CampaignConfig{
 		Apps:     benchApps,
@@ -47,7 +56,7 @@ func BenchmarkFig3IntrinsicRandomness(b *testing.B) {
 		var n int
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				cell := c.MustCell(app, tool, harness.BaselineParallel)
+				cell := mustCell(b, c, app, tool, harness.BaselineParallel)
 				if len(cell.Timeline) > 0 {
 					sum += cell.Timeline[len(cell.Timeline)-1].AJS
 					n++
@@ -68,7 +77,7 @@ func BenchmarkTable1SubspaceOverlap(b *testing.B) {
 		total, shared := 0, 0
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				cell := c.MustCell(app, tool, harness.BaselineParallel)
+				cell := mustCell(b, c, app, tool, harness.BaselineParallel)
 				for k, v := range cell.OverlapHist {
 					total += v
 					if k >= 1 {
@@ -92,8 +101,8 @@ func BenchmarkTable2ActivityPartition(b *testing.B) {
 		c := benchCampaign(int64(i + 1))
 		var base, par float64
 		for _, app := range c.Apps() {
-			base += float64(c.MustCell(app, "wctester", harness.BaselineParallel).Union)
-			par += float64(c.MustCell(app, "wctester", harness.ActivityPartition).Union)
+			base += float64(mustCell(b, c, app, "wctester", harness.BaselineParallel).Union)
+			par += float64(mustCell(b, c, app, "wctester", harness.ActivityPartition).Union)
 		}
 		delta = 100 * (par - base) / base
 	}
@@ -109,8 +118,8 @@ func BenchmarkFig5DurationSaved(b *testing.B) {
 		var vals []float64
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				base := c.MustCell(app, tool, harness.BaselineParallel)
-				opt := c.MustCell(app, tool, harness.TaOPTDuration)
+				base := mustCell(b, c, app, tool, harness.BaselineParallel)
+				opt := mustCell(b, c, app, tool, harness.TaOPTDuration)
 				vals = append(vals, 100*metrics.DurationSaved(opt.Timeline, base.Union, benchMinutes*Minute))
 			}
 		}
@@ -129,8 +138,8 @@ func BenchmarkFig6ResourceSaved(b *testing.B) {
 		var vals []float64
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				base := c.MustCell(app, tool, harness.BaselineParallel)
-				opt := c.MustCell(app, tool, harness.TaOPTResource)
+				base := mustCell(b, c, app, tool, harness.BaselineParallel)
+				opt := mustCell(b, c, app, tool, harness.TaOPTResource)
 				vals = append(vals, 100*metrics.ResourceSaved(opt.Timeline, base.Union, budget))
 			}
 		}
@@ -148,8 +157,8 @@ func BenchmarkTable4Coverage(b *testing.B) {
 		var base, opt float64
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				base += float64(c.MustCell(app, tool, harness.BaselineParallel).Union)
-				opt += float64(c.MustCell(app, tool, harness.TaOPTDuration).Union)
+				base += float64(mustCell(b, c, app, tool, harness.BaselineParallel).Union)
+				opt += float64(mustCell(b, c, app, tool, harness.TaOPTDuration).Union)
 			}
 		}
 		delta = 100 * (opt - base) / base
@@ -166,8 +175,8 @@ func BenchmarkTable5Crashes(b *testing.B) {
 		var base, opt float64
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				base += float64(c.MustCell(app, tool, harness.BaselineParallel).UniqueCrashes)
-				opt += float64(c.MustCell(app, tool, harness.TaOPTDuration).UniqueCrashes)
+				base += float64(mustCell(b, c, app, tool, harness.BaselineParallel).UniqueCrashes)
+				opt += float64(mustCell(b, c, app, tool, harness.TaOPTDuration).UniqueCrashes)
 			}
 		}
 		ratio = opt / math.Max(base, 1)
@@ -184,8 +193,8 @@ func BenchmarkTable6UIOverlap(b *testing.B) {
 		var base, opt float64
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				base += c.MustCell(app, tool, harness.BaselineParallel).UIOccAverage
-				opt += c.MustCell(app, tool, harness.TaOPTDuration).UIOccAverage
+				base += mustCell(b, c, app, tool, harness.BaselineParallel).UIOccAverage
+				opt += mustCell(b, c, app, tool, harness.TaOPTDuration).UIOccAverage
 			}
 		}
 		reduction = 100 * (base - opt) / base
@@ -201,8 +210,8 @@ func BenchmarkSingleLongRun(b *testing.B) {
 		c := benchCampaign(int64(i + 1))
 		var single, base float64
 		for _, app := range c.Apps() {
-			single += float64(c.MustCell(app, "monkey", harness.SingleLong).Union)
-			base += float64(c.MustCell(app, "monkey", harness.BaselineParallel).Union)
+			single += float64(mustCell(b, c, app, "monkey", harness.SingleLong).Union)
+			base += float64(mustCell(b, c, app, "monkey", harness.BaselineParallel).Union)
 		}
 		ratio = single / base
 	}
@@ -219,8 +228,8 @@ func BenchmarkBehaviorPreservation(b *testing.B) {
 		var n int
 		for _, app := range c.Apps() {
 			for _, tool := range c.Tools() {
-				base := c.MustCell(app, tool, harness.BaselineParallel)
-				opt := c.MustCell(app, tool, harness.TaOPTDuration)
+				base := mustCell(b, c, app, tool, harness.BaselineParallel)
+				opt := mustCell(b, c, app, tool, harness.TaOPTDuration)
 				jj, _ := metrics.BehaviorPreservation(base.UnionSet, opt.UnionSet)
 				sum += jj
 				n++

@@ -8,7 +8,9 @@
 //	experiments -exp fig5 -minutes 20    # scaled-down budgets
 //
 // Experiment names: fig3, table1, table2, fig5, fig6, table4, table5,
-// table6, single, preserve, all.
+// table6, single, preserve, chaos, all.
+//
+//	experiments -exp chaos -apps Zedge -minutes 20   # fault-injection study
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"taopt/internal/apps"
 	"taopt/internal/core"
+	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/report"
 	"taopt/internal/sim"
@@ -105,18 +108,20 @@ var experiments = map[string]func(io.Writer, *harness.Campaign) error{
 	"table6":   report.Table6,
 	"single":   report.SingleLong,
 	"preserve": report.Preservation,
+	"chaos":    report.Chaos,
 	"all":      report.All,
 }
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to regenerate: fig3|table1|table2|fig5|fig6|table4|table5|table6|single|preserve|ablate|all|grid")
+		exp       = flag.String("exp", "all", "experiment to regenerate: fig3|table1|table2|fig5|fig6|table4|table5|table6|single|preserve|chaos|ablate|all|grid")
 		seeds     = flag.Int("seeds", 1, "number of seeded campaigns for -exp grid")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: all 18)")
 		toolsFlag = flag.String("tools", "", "comma-separated tool subset (default: monkey,ape,wctester)")
 		minutes   = flag.Int("minutes", 60, "wall-clock budget l_p in minutes")
 		instances = flag.Int("instances", harness.DefaultInstances, "concurrent instances d_max")
 		seed      = flag.Int64("seed", 1, "campaign seed")
+		faultRate = flag.Float64("faults", 0, "instance-failure rate for fault injection (chaos derives its own 0/5/20% grid)")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -137,6 +142,10 @@ func main() {
 	}
 	if *toolsFlag != "" {
 		cfg.Tools = splitList(*toolsFlag)
+	}
+	if *faultRate > 0 {
+		fc := faults.DefaultConfig(*faultRate)
+		cfg.Faults = &fc
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -6,6 +6,7 @@
 //
 //	taopt -app Zedge -tool ape -setting taopt-duration -duration 60
 //	taopt -app demo -tool monkey -setting baseline
+//	taopt -app Zedge -tool ape -setting taopt-duration -faults 0.2
 //	taopt -list
 package main
 
@@ -21,6 +22,7 @@ import (
 	"taopt/internal/apps"
 	"taopt/internal/core"
 	"taopt/internal/export"
+	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/sim"
 	"taopt/internal/tools"
@@ -37,6 +39,7 @@ func main() {
 		budget    = flag.Int("budget", 0, "machine-time budget in minutes (default instances × duration)")
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		stagMin   = flag.Float64("stagnation", 0, "override stagnation window in minutes (0 = paper default)")
+		faultRate = flag.Float64("faults", 0, "inject device-farm failures at this instance-failure rate (e.g. 0.2)")
 		exportTo  = flag.String("export", "", "write the full run (traces, crashes, subspaces) as JSON to this file")
 		list      = flag.Bool("list", false, "list evaluation apps and exit")
 		verbose   = flag.Bool("v", false, "print per-instance details and identified subspaces")
@@ -84,6 +87,10 @@ func main() {
 		MachineBudget: sim.Duration(*budget) * sim.Duration(60e9),
 		Seed:          *seed,
 	}
+	if *faultRate > 0 {
+		fc := faults.DefaultConfig(*faultRate)
+		cfg.Faults = &fc
+	}
 	if *stagMin > 0 {
 		mode := core.DurationConstrained
 		if st == harness.TaOPTResource {
@@ -130,6 +137,11 @@ func main() {
 	}
 	if res.CoordinatorStats != nil {
 		fmt.Printf("coordinator:    %+v\n", *res.CoordinatorStats)
+	}
+	if res.FaultStats != nil {
+		fmt.Printf("faults:         %+v\n", *res.FaultStats)
+		fmt.Printf("failed leases:  %d (orphaned subspaces pending: %d)\n",
+			res.FailedInstances, res.OrphansPending)
 	}
 
 	if *verbose {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"sort"
 
+	"taopt/internal/device"
 	"taopt/internal/sim"
 	"taopt/internal/toller"
 	"taopt/internal/trace"
@@ -52,6 +54,18 @@ const (
 	// exhaustion of an instance's reachable territory, as it does at one
 	// minute on real apps (see DESIGN.md, calibration notes).
 	StagnationWindow = 10 * sim.Duration(60e9)
+	// HeartbeatWindow is the default hang-detection threshold: an allocated
+	// instance producing no trace events at all for this long is declared
+	// hung and released. Healthy instances emit events every few seconds
+	// (one per tool action), so two minutes of total silence is over an
+	// order of magnitude beyond any legitimate action latency — far tighter
+	// than stagnation, which tolerates events that merely revisit old
+	// screens.
+	HeartbeatWindow = 2 * sim.Duration(60e9)
+	// AllocRetryBase and AllocRetryCap bound the exponential backoff (in
+	// virtual time) applied when the farm is temporarily out of capacity.
+	AllocRetryBase = 10 * sim.Duration(1e9)
+	AllocRetryCap  = 5 * sim.Duration(60e9)
 )
 
 // Config parameterises a Coordinator.
@@ -83,6 +97,13 @@ type Config struct {
 	// permanently orphaned subspace is a dead zone nobody can finish (the
 	// ablation benches flip this).
 	DropOrphans bool
+	// Heartbeat overrides HeartbeatWindow when non-zero; negative disables
+	// hang detection entirely.
+	Heartbeat sim.Duration
+	// AllocRetry and AllocRetryMax override the allocation backoff bounds
+	// when non-zero.
+	AllocRetry    sim.Duration
+	AllocRetryMax sim.Duration
 }
 
 // DefaultConfig returns the paper's configuration for the given mode.
@@ -113,11 +134,14 @@ type Env interface {
 	MaxInstances() int
 	// ActiveInstances lists the IDs of running instances.
 	ActiveInstances() []int
-	// Allocate boots a new testing instance, returning its ID. ok=false
-	// when no device is available or the run is winding down.
-	Allocate() (id int, ok bool)
-	// Deallocate releases a running instance.
-	Deallocate(id int)
+	// Allocate boots a new testing instance, returning its ID. An error
+	// wrapping device.ErrFarmBusy means no device is available right now
+	// and the attempt may be retried; any other error is permanent (the
+	// run is winding down) and stops further allocation.
+	Allocate() (id int, err error)
+	// Deallocate releases a running instance. Errors (unknown ID, double
+	// release) are surfaced for accounting, never fatal.
+	Deallocate(id int) error
 	// Blocks returns the mutable entrypoint block set of an instance.
 	Blocks(id int) *toller.BlockSet
 }
@@ -160,6 +184,23 @@ type Coordinator struct {
 	firstSeen  map[int]sim.Duration
 	globalSeen map[ui.Signature]bool
 
+	// Health monitoring. lastEvent is trace-event recency per instance (the
+	// heartbeat); tracked holds the instances this coordinator allocated and
+	// has not yet retired — an ID in tracked but absent from the env's
+	// active list died underneath us. tracked is set only in allocate() and
+	// cleared only in retire(): trailing events from a just-released
+	// instance must not resurrect it.
+	lastEvent map[int]sim.Duration
+	tracked   map[int]bool
+
+	// Allocation retry state: deferred wants and capped exponential backoff
+	// in virtual time. allocDisabled latches on a permanent (non-busy)
+	// allocation error — the run is winding down.
+	pendingAllocs int
+	allocBackoff  sim.Duration
+	nextAllocAt   sim.Duration
+	allocDisabled bool
+
 	// stats
 	deallocations int
 	allocations   int
@@ -179,6 +220,15 @@ type Stats struct {
 	Accepted      int // accepted as new subspaces
 	Allocations   int
 	Deallocations int
+
+	// Failure handling (all zero on a fault-free run).
+	Deaths         int // instances that vanished from the farm without our release
+	Hangs          int // instances released for missing the heartbeat window
+	AllocDeferred  int // allocation attempts deferred on a busy farm
+	ReleaseErrors  int // de-allocations the farm rejected (unknown/double)
+	Orphaned       int // subspaces orphaned by their owner's departure
+	Rededicated    int // orphans re-assigned to a replacement instance
+	DroppedOrphans int // orphans left permanently blocked (DropOrphans)
 }
 
 // NewCoordinator wires a coordinator to its environment. Call Start before
@@ -205,6 +255,15 @@ func NewCoordinator(cfg Config, env Env, book *trace.Book) *Coordinator {
 	if cfg.ConfirmShort == 0 {
 		cfg.ConfirmShort = 2
 	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = HeartbeatWindow
+	}
+	if cfg.AllocRetry == 0 {
+		cfg.AllocRetry = AllocRetryBase
+	}
+	if cfg.AllocRetryMax == 0 {
+		cfg.AllocRetryMax = AllocRetryCap
+	}
 	cfg.Analyzer.LMin = cfg.LMin
 	return &Coordinator{
 		cfg:           cfg,
@@ -218,6 +277,8 @@ func NewCoordinator(cfg Config, env Env, book *trace.Book) *Coordinator {
 		lastNew:       make(map[int]sim.Duration),
 		firstSeen:     make(map[int]sim.Duration),
 		globalSeen:    make(map[ui.Signature]bool),
+		lastEvent:     make(map[int]sim.Duration),
+		tracked:       make(map[int]bool),
 	}
 }
 
@@ -236,6 +297,10 @@ func (c *Coordinator) Start() {
 
 // Subspaces returns the accepted subspaces in acceptance order.
 func (c *Coordinator) Subspaces() []*Subspace { return c.accepted }
+
+// OrphanCount returns the number of subspaces currently waiting for (or,
+// under DropOrphans, permanently denied) a replacement owner.
+func (c *Coordinator) OrphanCount() int { return len(c.orphans) }
 
 // Allocations and Deallocations expose lifecycle counts for reports.
 func (c *Coordinator) Allocations() int   { return c.allocations }
@@ -261,6 +326,11 @@ func (c *Coordinator) OnTransition(ev trace.Event) {
 		c.launchScreens[ev.To] = true
 	case ev.Action.Kind == trace.ActionTap && !ev.Enforced:
 		c.learnEdge(ev)
+	}
+
+	// Heartbeat: any trace event proves the instance is alive.
+	if c.tracked[ev.Instance] {
+		c.lastEvent[ev.Instance] = now
 	}
 
 	// Stagnation bookkeeping: has this instance discovered a new screen?
@@ -681,16 +751,34 @@ func (c *Coordinator) blockSubspace(id int, sub *Subspace) {
 // its owner's de-allocation, the oldest orphan is re-dedicated to the new
 // instance (a subspace must always have a living owner, or it becomes a
 // permanently blocked dead zone); every other accepted subspace is blocked.
+//
+// On a busy farm (device.ErrFarmBusy) the want is deferred and retried by
+// Tick with capped exponential backoff; any other allocation error is
+// permanent (the run is winding down) and disables allocation for good.
 func (c *Coordinator) allocate() (int, bool) {
-	id, ok := c.env.Allocate()
-	if !ok {
+	if c.allocDisabled {
+		return 0, false
+	}
+	id, err := c.env.Allocate()
+	if err != nil {
+		if errors.Is(err, device.ErrFarmBusy) {
+			c.deferAllocation()
+		} else {
+			c.allocDisabled = true
+		}
 		return 0, false
 	}
 	c.allocations++
-	c.lastNew[id] = c.env.Now()
+	c.allocBackoff = 0
+	c.nextAllocAt = 0
+	now := c.env.Now()
+	c.lastNew[id] = now
+	c.lastEvent[id] = now
+	c.tracked[id] = true
 	if !c.cfg.DropOrphans && len(c.orphans) > 0 {
 		c.accepted[c.orphans[0]].Owner = id
 		c.orphans = c.orphans[1:]
+		c.stats.Rededicated++
 	}
 	for _, sub := range c.accepted {
 		if sub.Owner != id {
@@ -700,10 +788,71 @@ func (c *Coordinator) allocate() (int, bool) {
 	return id, true
 }
 
-// reapStagnant de-allocates instances that have not discovered a new UI
-// screen within the stagnation window, then applies the mode's response:
+// deferAllocation queues one want for the next Tick and extends the backoff:
+// base on the first consecutive failure, doubling up to the cap afterwards.
+func (c *Coordinator) deferAllocation() {
+	if c.pendingAllocs < c.env.MaxInstances() {
+		c.pendingAllocs++
+	}
+	c.stats.AllocDeferred++
+	if c.allocBackoff == 0 {
+		c.allocBackoff = c.cfg.AllocRetry
+	} else {
+		c.allocBackoff *= 2
+		if c.allocBackoff > c.cfg.AllocRetryMax {
+			c.allocBackoff = c.cfg.AllocRetryMax
+		}
+	}
+	c.nextAllocAt = c.env.Now() + c.allocBackoff
+}
+
+// retire removes one instance from coordination: its lease is released when
+// deallocate is set (dead instances are already gone from the farm), its
+// analyzer window is discarded, and its subspaces are orphaned. Release
+// errors are counted, never fatal — a stale lease must not take down the
+// run.
+func (c *Coordinator) retire(id int, deallocate bool) {
+	if deallocate {
+		if err := c.env.Deallocate(id); err != nil {
+			c.stats.ReleaseErrors++
+		}
+		c.deallocations++
+	}
+	c.analyzer.ResetInstance(id)
+	delete(c.seen, id)
+	delete(c.lastNew, id)
+	delete(c.firstSeen, id)
+	delete(c.lastEvent, id)
+	delete(c.tracked, id)
+	for _, sub := range c.accepted {
+		if sub.Owner == id {
+			c.orphans = append(c.orphans, sub.ID)
+			if c.cfg.DropOrphans {
+				c.stats.DroppedOrphans++
+			} else {
+				c.stats.Orphaned++
+			}
+		}
+	}
+}
+
+// replaceLost applies the mode's response to a lost instance:
 // duration-constrained immediately allocates a replacement;
-// resource-constrained defers to the next subspace acceptance.
+// resource-constrained allocates only when the departed owner left orphaned
+// subspaces behind (identified work needing a living owner) and otherwise
+// defers to the next subspace acceptance.
+func (c *Coordinator) replaceLost() {
+	switch {
+	case c.cfg.Mode == DurationConstrained:
+		c.allocate()
+	case len(c.orphans) > 0:
+		c.allocate()
+	}
+}
+
+// reapStagnant de-allocates instances that have not discovered a new UI
+// screen within the stagnation window, then applies the mode's response via
+// replaceLost.
 func (c *Coordinator) reapStagnant(now sim.Duration) {
 	active := c.env.ActiveInstances()
 	sort.Ints(active)
@@ -716,28 +865,8 @@ func (c *Coordinator) reapStagnant(now sim.Duration) {
 		if now-last <= c.cfg.Stagnation {
 			continue
 		}
-		c.env.Deallocate(id)
-		c.deallocations++
-		c.analyzer.ResetInstance(id)
-		delete(c.seen, id)
-		delete(c.lastNew, id)
-		delete(c.firstSeen, id)
-		for _, sub := range c.accepted {
-			if sub.Owner == id {
-				c.orphans = append(c.orphans, sub.ID)
-			}
-		}
-		switch {
-		case c.cfg.Mode == DurationConstrained:
-			c.allocate()
-		case len(c.orphans) > 0:
-			// Resource-constrained mode defers allocation until new
-			// subspaces are identified — but an orphaned subspace is
-			// exactly that: identified work without a living owner. Boot a
-			// replacement to inherit it; pure leftover-explorers are not
-			// replaced until something new turns up.
-			c.allocate()
-		}
+		c.retire(id, true)
+		c.replaceLost()
 	}
 	// Liveness guard (resource-constrained mode): the paper defers new
 	// allocations until a new subspace is identified, but with zero active
@@ -745,5 +874,94 @@ func (c *Coordinator) reapStagnant(now sim.Duration) {
 	// relaunches one instance; we do the same (documented in DESIGN.md).
 	if len(c.env.ActiveInstances()) == 0 {
 		c.allocate()
+	}
+}
+
+// Tick drives the health monitor and the allocation-retry loop. The harness
+// calls it periodically (at its sampling cadence) so dead and hung
+// instances are noticed even while no trace events arrive — precisely the
+// situation a hang creates.
+func (c *Coordinator) Tick(now sim.Duration) {
+	c.checkHealth(now)
+	c.ensureCapacity(now)
+}
+
+// checkHealth detects failed instances. Death: an instance this coordinator
+// allocated is gone from the farm without our Deallocate — the emulator
+// process died; its lease was already charged up to the failure. Hang: an
+// instance is still allocated (and billed) but has produced no trace event
+// for the heartbeat window; it is released and replaced. Both orphan the
+// instance's subspaces through the usual queue.
+func (c *Coordinator) checkHealth(now sim.Duration) {
+	active := make(map[int]bool)
+	for _, id := range c.env.ActiveInstances() {
+		active[id] = true
+	}
+
+	tracked := make([]int, 0, len(c.tracked))
+	for id := range c.tracked {
+		tracked = append(tracked, id)
+	}
+	sort.Ints(tracked)
+	for _, id := range tracked {
+		if active[id] {
+			continue
+		}
+		c.stats.Deaths++
+		c.retire(id, false)
+		c.replaceLost()
+	}
+
+	if c.cfg.Heartbeat <= 0 {
+		return
+	}
+	ids := make([]int, 0, len(active))
+	for id := range active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !c.tracked[id] {
+			continue
+		}
+		last, ok := c.lastEvent[id]
+		if !ok || now-last <= c.cfg.Heartbeat {
+			continue
+		}
+		c.stats.Hangs++
+		c.retire(id, true)
+		c.replaceLost()
+	}
+}
+
+// ensureCapacity retries deferred allocations once the backoff expires, and
+// tops the fleet back up to d_max in duration-constrained mode. Running
+// degraded with fewer than d_max instances is the designed outcome while
+// the farm stays busy — the coordinator keeps testing with whatever it has
+// and never aborts.
+func (c *Coordinator) ensureCapacity(now sim.Duration) {
+	if c.allocDisabled {
+		return
+	}
+	if c.cfg.Mode == DurationConstrained {
+		if deficit := c.env.MaxInstances() - len(c.env.ActiveInstances()); deficit > c.pendingAllocs {
+			c.pendingAllocs = deficit
+		}
+	}
+	if len(c.env.ActiveInstances()) == 0 && c.pendingAllocs == 0 {
+		c.pendingAllocs = 1
+	}
+	if c.pendingAllocs == 0 || now < c.nextAllocAt {
+		return
+	}
+	want := c.pendingAllocs
+	c.pendingAllocs = 0
+	for i := 0; i < want; i++ {
+		if _, ok := c.allocate(); !ok {
+			// allocate re-queued this want (busy) or latched allocDisabled
+			// (permanent); either way re-queue the untried remainder.
+			c.pendingAllocs += want - i - 1
+			break
+		}
 	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
+	"taopt/internal/device"
 	"taopt/internal/sim"
 	"taopt/internal/toller"
 	"taopt/internal/trace"
@@ -12,13 +14,18 @@ import (
 
 // fakeEnv is an in-memory testing cloud for coordinator tests.
 type fakeEnv struct {
-	now       sim.Duration
-	max       int
-	active    []int
-	nextID    int
-	blocks    map[int]*toller.BlockSet
-	deallocs  []int
+	now      sim.Duration
+	max      int
+	active   []int
+	nextID   int
+	blocks   map[int]*toller.BlockSet
+	deallocs []int
+	// allocFail makes Allocate fail permanently; busy makes it fail with the
+	// retryable device.ErrFarmBusy. attempts records when each Allocate call
+	// happened, for backoff-timing tests.
 	allocFail bool
+	busy      bool
+	attempts  []sim.Duration
 }
 
 func newFakeEnv(max int) *fakeEnv {
@@ -30,21 +37,38 @@ func (e *fakeEnv) MaxInstances() int { return e.max }
 func (e *fakeEnv) ActiveInstances() []int {
 	return append([]int(nil), e.active...)
 }
-func (e *fakeEnv) Allocate() (int, bool) {
-	if e.allocFail || len(e.active) >= e.max {
-		return 0, false
+func (e *fakeEnv) Allocate() (int, error) {
+	e.attempts = append(e.attempts, e.now)
+	if e.allocFail {
+		return 0, errors.New("farm unreachable")
+	}
+	if e.busy || len(e.active) >= e.max {
+		return 0, fmt.Errorf("fake: %w", device.ErrFarmBusy)
 	}
 	id := e.nextID
 	e.nextID++
 	e.active = append(e.active, id)
 	e.blocks[id] = toller.NewBlockSet()
-	return id, true
+	return id, nil
 }
-func (e *fakeEnv) Deallocate(id int) {
+func (e *fakeEnv) Deallocate(id int) error {
 	for i, a := range e.active {
 		if a == id {
 			e.active = append(e.active[:i], e.active[i+1:]...)
 			e.deallocs = append(e.deallocs, id)
+			return nil
+		}
+	}
+	return fmt.Errorf("fake: %w: %d", device.ErrUnknownInstance, id)
+}
+
+// kill simulates an instance death: it vanishes from the active list
+// without a Deallocate, exactly as a crashed emulator disappears from the
+// farm.
+func (e *fakeEnv) kill(id int) {
+	for i, a := range e.active {
+		if a == id {
+			e.active = append(e.active[:i], e.active[i+1:]...)
 			return
 		}
 	}

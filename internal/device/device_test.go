@@ -1,6 +1,7 @@
 package device
 
 import (
+	"errors"
 	"testing"
 
 	"taopt/internal/app"
@@ -215,8 +216,8 @@ func TestFarmLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Allocate(20); err == nil {
-		t.Fatal("third allocation must fail with 2 devices")
+	if _, err := f.Allocate(20); !errors.Is(err, ErrFarmBusy) {
+		t.Fatalf("third allocation with 2 devices: err = %v, want ErrFarmBusy", err)
 	}
 	if f.ActiveCount() != 2 {
 		t.Fatalf("active = %d", f.ActiveCount())
@@ -225,7 +226,9 @@ func TestFarmLifecycle(t *testing.T) {
 		t.Fatal("instance IDs must be unique")
 	}
 
-	f.Release(a1.Emu.ID, 100)
+	if _, err := f.Release(a1.Emu.ID, 100); err != nil {
+		t.Fatalf("release: %v", err)
+	}
 	if f.ActiveCount() != 1 {
 		t.Fatal("release did not free a slot")
 	}
@@ -270,12 +273,55 @@ func TestFarmAutoLogin(t *testing.T) {
 	}
 }
 
-func TestFarmReleaseUnknownPanics(t *testing.T) {
+func TestFarmReleaseErrors(t *testing.T) {
 	f := NewFarm(testApp(), sim.NewRNG(1), 1, false)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	f.Release(42, 0)
+	if _, err := f.Release(42, 0); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("release of unknown ID: err = %v, want ErrUnknownInstance", err)
+	}
+	al, err := f.Allocate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Release(al.Emu.ID, 10); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if _, err := f.Release(al.Emu.ID, 20); !errors.Is(err, ErrDoubleRelease) {
+		t.Fatalf("second release: err = %v, want ErrDoubleRelease", err)
+	}
+	if _, err := f.Fail(al.Emu.ID, 20); !errors.Is(err, ErrDoubleRelease) {
+		t.Fatalf("fail after release: err = %v, want ErrDoubleRelease", err)
+	}
+}
+
+// Fail charges the lease up to the moment of death, like a release, and
+// marks it failed for reporting.
+func TestFarmFailChargesPartialTime(t *testing.T) {
+	f := NewFarm(testApp(), sim.NewRNG(1), 2, false)
+	al, err := f.Allocate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := f.Fail(al.Emu.ID, 50)
+	if err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	if !dead.Failed {
+		t.Fatal("failed lease not marked Failed")
+	}
+	if got := dead.MachineTime(999); got != 50 {
+		t.Fatalf("failed lease machine time = %v, want 50", got)
+	}
+	if got := f.MachineTime(50); got != 50 {
+		t.Fatalf("farm machine time = %v, want 50", got)
+	}
+	if f.FailedCount() != 1 {
+		t.Fatalf("failed count = %d, want 1", f.FailedCount())
+	}
+	if f.ActiveCount() != 0 {
+		t.Fatal("failed instance still active")
+	}
+	// The freed slot is reusable.
+	if _, err := f.Allocate(60); err != nil {
+		t.Fatalf("allocate after fail: %v", err)
+	}
 }

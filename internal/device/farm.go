@@ -1,11 +1,24 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"taopt/internal/app"
 	"taopt/internal/sim"
+)
+
+// Sentinel errors for lease management. ErrFarmBusy is retryable — the
+// coordinator's backoff tests for it with errors.Is; the other two indicate
+// a lease-accounting bug or a stale ID and are surfaced, not retried.
+var (
+	// ErrFarmBusy means every device slot is currently allocated.
+	ErrFarmBusy = errors.New("device: all devices busy")
+	// ErrUnknownInstance means the ID was never allocated by this farm.
+	ErrUnknownInstance = errors.New("device: unknown instance")
+	// ErrDoubleRelease means the instance was already released or failed.
+	ErrDoubleRelease = errors.New("device: instance already released")
 )
 
 // Farm manages a pool of emulator slots for one app, mirroring a testing
@@ -21,6 +34,7 @@ type Farm struct {
 	active    map[int]*Allocation
 	retired   []*Allocation
 	meterUsed sim.Duration
+	failed    int
 }
 
 // Allocation is one testing-instance lease.
@@ -28,8 +42,14 @@ type Allocation struct {
 	Emu   *Emulator
 	Since sim.Duration
 	Until sim.Duration // valid once released
-	done  bool
+	// Failed marks a lease terminated by an instance fault rather than a
+	// deliberate release; the lease is still charged up to the failure.
+	Failed bool
+	done   bool
 }
+
+// Done reports whether this lease has ended (released or failed).
+func (al *Allocation) Done() bool { return al.done }
 
 // MachineTime returns the machine time this allocation has consumed by now.
 func (al *Allocation) MachineTime(now sim.Duration) sim.Duration {
@@ -61,11 +81,15 @@ func (f *Farm) ActiveCount() int { return len(f.active) }
 // MaxDevices returns the concurrency cap.
 func (f *Farm) MaxDevices() int { return f.maxDevices }
 
-// Allocate boots a new testing instance at virtual time now. It returns an
-// error when all devices are busy.
+// FailedCount returns how many leases ended in an instance fault.
+func (f *Farm) FailedCount() int { return f.failed }
+
+// Allocate boots a new testing instance at virtual time now. When all
+// devices are busy it returns an error wrapping ErrFarmBusy, which callers
+// should treat as retryable.
 func (f *Farm) Allocate(now sim.Duration) (*Allocation, error) {
 	if len(f.active) >= f.maxDevices {
-		return nil, fmt.Errorf("device: all %d devices busy", f.maxDevices)
+		return nil, fmt.Errorf("%w (%d devices)", ErrFarmBusy, f.maxDevices)
 	}
 	id := f.nextID
 	f.nextID++
@@ -79,19 +103,40 @@ func (f *Farm) Allocate(now sim.Duration) (*Allocation, error) {
 }
 
 // Release de-allocates the instance with the given ID at virtual time now,
-// charging its machine time. Releasing an unknown ID panics: leases are
-// managed by one coordinator.
-func (f *Farm) Release(id int, now sim.Duration) *Allocation {
+// charging its machine time. Releasing an already-released instance returns
+// an error wrapping ErrDoubleRelease; an ID this farm never allocated
+// returns one wrapping ErrUnknownInstance. Both are surfaced to the
+// coordinator instead of panicking so a single bad lease cannot take down a
+// whole campaign.
+func (f *Farm) Release(id int, now sim.Duration) (*Allocation, error) {
+	return f.retire(id, now, false)
+}
+
+// Fail terminates the lease of a dead or hung instance at virtual time now.
+// The lease is charged machine time up to the failure, exactly as a release,
+// but is marked failed for reporting.
+func (f *Farm) Fail(id int, now sim.Duration) (*Allocation, error) {
+	return f.retire(id, now, true)
+}
+
+func (f *Farm) retire(id int, now sim.Duration, failed bool) (*Allocation, error) {
 	al, ok := f.active[id]
 	if !ok {
-		panic(fmt.Sprintf("device: release of unknown instance %d", id))
+		if id >= 0 && id < f.nextID {
+			return nil, fmt.Errorf("%w: instance %d", ErrDoubleRelease, id)
+		}
+		return nil, fmt.Errorf("%w: instance %d", ErrUnknownInstance, id)
 	}
 	delete(f.active, id)
 	al.Until = now
 	al.done = true
+	al.Failed = failed
+	if failed {
+		f.failed++
+	}
 	f.retired = append(f.retired, al)
 	f.meterUsed += al.Until - al.Since
-	return al
+	return al, nil
 }
 
 // ReleaseAll de-allocates every active instance.

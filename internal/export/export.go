@@ -32,6 +32,9 @@ type Run struct {
 	Coverage      int   `json:"coverage"`
 	UniqueCrashes int   `json:"unique_crashes"`
 
+	// Faults summarises injected device-farm failures (chaos runs only).
+	Faults *Faults `json:"faults,omitempty"`
+
 	Instances []Instance `json:"instances"`
 	Subspaces []Subspace `json:"subspaces,omitempty"`
 	Timeline  []Point    `json:"timeline"`
@@ -40,12 +43,15 @@ type Run struct {
 
 // Instance is one testing-instance allocation.
 type Instance struct {
-	ID          int     `json:"id"`
-	AllocatedNS int64   `json:"allocated_ns"`
-	ReleasedNS  int64   `json:"released_ns"`
-	Coverage    int     `json:"coverage"`
-	Crashes     []Crash `json:"crashes,omitempty"`
-	Events      []Event `json:"events"`
+	ID          int   `json:"id"`
+	AllocatedNS int64 `json:"allocated_ns"`
+	ReleasedNS  int64 `json:"released_ns"`
+	Coverage    int   `json:"coverage"`
+	// Failed marks a lease terminated by an injected fault rather than a
+	// deliberate release.
+	Failed  bool    `json:"failed,omitempty"`
+	Crashes []Crash `json:"crashes,omitempty"`
+	Events  []Event `json:"events"`
 }
 
 // Event is one UI transition.
@@ -58,6 +64,19 @@ type Event struct {
 	Activity string `json:"activity"`
 	Crashed  bool   `json:"crashed,omitempty"`
 	Enforced bool   `json:"enforced,omitempty"`
+}
+
+// Faults summarises the injected faults of a chaos run. Absent on
+// fault-free runs, so FormatVersion is unchanged (the addition is purely
+// additive).
+type Faults struct {
+	Deaths          int `json:"deaths"`
+	Hangs           int `json:"hangs"`
+	AllocFailures   int `json:"alloc_failures"`
+	TraceDrops      int `json:"trace_drops"`
+	TraceDelays     int `json:"trace_delays"`
+	FailedInstances int `json:"failed_instances"`
+	OrphansPending  int `json:"orphans_pending"`
 }
 
 // Crash is one observed crash.
@@ -105,12 +124,24 @@ func FromResult(res *harness.RunResult) *Run {
 		Coverage:      res.Union.Count(),
 		UniqueCrashes: res.UniqueCrashes,
 	}
+	if st := res.FaultStats; st != nil {
+		out.Faults = &Faults{
+			Deaths:          st.Deaths,
+			Hangs:           st.Hangs,
+			AllocFailures:   st.AllocFailures,
+			TraceDrops:      st.TraceDrops,
+			TraceDelays:     st.TraceDelays,
+			FailedInstances: res.FailedInstances,
+			OrphansPending:  res.OrphansPending,
+		}
+	}
 	for _, inst := range res.Instances {
 		ei := Instance{
 			ID:          inst.ID,
 			AllocatedNS: int64(inst.Allocated),
 			ReleasedNS:  int64(inst.Released),
 			Coverage:    inst.Methods.Count(),
+			Failed:      inst.Failed,
 		}
 		for _, rep := range inst.Crashes.Reports() {
 			ei.Crashes = append(ei.Crashes, Crash{

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"taopt/internal/apps"
+	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/sim"
 )
@@ -120,5 +121,65 @@ func TestSubspacesSerialised(t *testing.T) {
 				t.Fatal("members not sorted (unstable serialisation)")
 			}
 		}
+	}
+}
+
+func TestChaosRunExportsFaults(t *testing.T) {
+	app, err := apps.Load("Filters For Selfie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faults.DefaultConfig(0.5)
+	fc.MinLife = 1 * sim.Duration(60e9)
+	fc.MaxLife = 4 * sim.Duration(60e9)
+	res, err := harness.Run(harness.RunConfig{
+		App:      app,
+		Tool:     "monkey",
+		Setting:  harness.TaOPTDuration,
+		Duration: 8 * sim.Duration(60e9),
+		Seed:     4,
+		Faults:   &fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FromResult(res).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults == nil {
+		t.Fatal("chaos run exported without a faults summary")
+	}
+	if got := back.Faults.Deaths + back.Faults.Hangs; got != res.FaultStats.Deaths+res.FaultStats.Hangs {
+		t.Fatalf("fault counts lost in round trip: %+v vs %+v", *back.Faults, *res.FaultStats)
+	}
+	if back.Faults.FailedInstances != res.FailedInstances {
+		t.Fatalf("failed-instance count %d, want %d", back.Faults.FailedInstances, res.FailedInstances)
+	}
+	failed := 0
+	for _, inst := range back.Instances {
+		if inst.Failed {
+			failed++
+		}
+	}
+	if failed != res.FailedInstances {
+		t.Fatalf("%d instances marked failed in export, want %d", failed, res.FailedInstances)
+	}
+
+	// A fault-free run must not grow a faults section.
+	buf.Reset()
+	if err := FromResult(sampleResult(t)).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faults != nil {
+		t.Fatal("fault-free run exported a faults summary")
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"taopt/internal/apps"
 	"taopt/internal/coverage"
+	"taopt/internal/faults"
 	"taopt/internal/graph"
 	"taopt/internal/metrics"
 	"taopt/internal/sim"
@@ -49,6 +50,11 @@ type CellSummary struct {
 	// TaOPT-only.
 	Subspaces int
 
+	// Fault injection (zero on fault-free campaigns).
+	FailedInstances int
+	FaultsInjected  int
+	OrphansPending  int
+
 	// Preliminary-study fields, filled for BaselineParallel cells only:
 	// the offline UI-subspace partition of the combined traces and, per
 	// identified subspace, how many of the instances explored it (Table 1).
@@ -68,6 +74,10 @@ type CampaignConfig struct {
 	Duration sim.Duration
 	// Seed is the campaign seed; each cell derives its own.
 	Seed int64
+	// Faults, when non-nil and enabled, injects device-farm failures into
+	// every run of the campaign (chaos campaigns); each cell derives its
+	// own deterministic fault plan from its cell seed.
+	Faults *faults.Config
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -147,6 +157,7 @@ func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, er
 		Instances: c.cfg.Instances,
 		Duration:  c.cfg.Duration,
 		Seed:      c.cellSeed(key),
+		Faults:    c.cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -158,15 +169,6 @@ func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, er
 			key.String(), s.Union, s.UniqueCrashes, s.UIOccAverage)
 	}
 	return s, nil
-}
-
-// MustCell is Cell for callers holding a validated grid.
-func (c *Campaign) MustCell(appName, tool string, setting Setting) *CellSummary {
-	s, err := c.Cell(appName, tool, setting)
-	if err != nil {
-		panic(err)
-	}
-	return s
 }
 
 // summarize reduces a RunResult to the digest the renderers need, computing
@@ -185,6 +187,11 @@ func summarize(key CellKey, res *RunResult, instances int) *CellSummary {
 		WallUsed:      res.WallUsed,
 		MachineUsed:   res.MachineUsed,
 		Subspaces:     len(res.Subspaces),
+	}
+	s.FailedInstances = res.FailedInstances
+	s.OrphansPending = res.OrphansPending
+	if res.FaultStats != nil {
+		s.FaultsInjected = res.FaultStats.Total()
 	}
 	if key.Setting == BaselineParallel {
 		s.OfflineSubspaces, s.OverlapHist = subspaceOverlap(res, instances)

@@ -17,6 +17,15 @@ func tinyConfig() CampaignConfig {
 	}
 }
 
+func mustCellT(t *testing.T, c *Campaign, app, tool string, s Setting) *CellSummary {
+	t.Helper()
+	cell, err := c.Cell(app, tool, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
 func TestCampaignCellCaching(t *testing.T) {
 	c := NewCampaign(tinyConfig())
 	a, err := c.Cell("Filters For Selfie", "monkey", BaselineParallel)
@@ -37,7 +46,7 @@ func TestCampaignCellCaching(t *testing.T) {
 
 func TestCampaignBaselineCellsCarryTable1Data(t *testing.T) {
 	c := NewCampaign(tinyConfig())
-	base := c.MustCell("Filters For Selfie", "monkey", BaselineParallel)
+	base := mustCellT(t, c, "Filters For Selfie", "monkey", BaselineParallel)
 	if base.OfflineSubspaces == 0 {
 		t.Fatal("baseline cell missing the offline subspace partition")
 	}
@@ -48,7 +57,7 @@ func TestCampaignBaselineCellsCarryTable1Data(t *testing.T) {
 	if total != base.OfflineSubspaces {
 		t.Fatalf("histogram sums to %d, want %d subspaces", total, base.OfflineSubspaces)
 	}
-	opt := c.MustCell("Filters For Selfie", "monkey", TaOPTDuration)
+	opt := mustCellT(t, c, "Filters For Selfie", "monkey", TaOPTDuration)
 	if opt.OverlapHist != nil {
 		t.Fatal("non-baseline cells must not compute Table 1 data")
 	}
@@ -62,8 +71,8 @@ func TestCampaignUnknownApp(t *testing.T) {
 }
 
 func TestCampaignDeterministicAcrossInstances(t *testing.T) {
-	r1 := NewCampaign(tinyConfig()).MustCell("Filters For Selfie", "monkey", TaOPTDuration)
-	r2 := NewCampaign(tinyConfig()).MustCell("Filters For Selfie", "monkey", TaOPTDuration)
+	r1 := mustCellT(t, NewCampaign(tinyConfig()), "Filters For Selfie", "monkey", TaOPTDuration)
+	r2 := mustCellT(t, NewCampaign(tinyConfig()), "Filters For Selfie", "monkey", TaOPTDuration)
 	if r1.Union != r2.Union || r1.UniqueCrashes != r2.UniqueCrashes || r1.DistinctUIs != r2.DistinctUIs {
 		t.Fatalf("campaign cells not reproducible: %+v vs %+v", r1, r2)
 	}
@@ -73,8 +82,8 @@ func TestCampaignSeedChangesResults(t *testing.T) {
 	cfg1 := tinyConfig()
 	cfg2 := tinyConfig()
 	cfg2.Seed = 99
-	a := NewCampaign(cfg1).MustCell("Filters For Selfie", "monkey", BaselineParallel)
-	b := NewCampaign(cfg2).MustCell("Filters For Selfie", "monkey", BaselineParallel)
+	a := mustCellT(t, NewCampaign(cfg1), "Filters For Selfie", "monkey", BaselineParallel)
+	b := mustCellT(t, NewCampaign(cfg2), "Filters For Selfie", "monkey", BaselineParallel)
 	if a.Union == b.Union && a.DistinctUIs == b.DistinctUIs && a.UIOccAverage == b.UIOccAverage {
 		t.Fatal("different campaign seeds produced identical cells")
 	}

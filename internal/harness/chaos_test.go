@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"testing"
+
+	"taopt/internal/faults"
+	"taopt/internal/sim"
+)
+
+const chaosMinute = sim.Duration(60e9)
+
+// chaosRun executes one run with the given fault config, failing the test on
+// a setup error. Panics inside the run fail the test by crashing it — that is
+// the point: a chaos campaign must complete without one.
+func chaosRun(t *testing.T, setting Setting, fc *faults.Config, seed int64) *RunResult {
+	t.Helper()
+	res, err := Run(RunConfig{
+		App:      mustLoad(t, "Filters For Selfie"),
+		Tool:     "monkey",
+		Setting:  setting,
+		Duration: 8 * chaosMinute,
+		Seed:     seed,
+		Faults:   fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChaosAllSettingsSurvive runs every parallelization setting under a 20%
+// fault mix: the run must complete without panicking and still produce a
+// coherent result.
+func TestChaosAllSettingsSurvive(t *testing.T) {
+	fc := faults.DefaultConfig(0.20)
+	// Compress failure times into the short test lease so faults actually
+	// fire within the 8-minute run.
+	fc.MinLife = 1 * chaosMinute
+	fc.MaxLife = 5 * chaosMinute
+	for _, setting := range []Setting{
+		BaselineParallel, TaOPTDuration, TaOPTResource,
+		ActivityPartition, SingleLong, PATSMasterSlave,
+	} {
+		t.Run(setting.String(), func(t *testing.T) {
+			res := chaosRun(t, setting, &fc, 11)
+			if res.Union == nil || res.Union.Count() == 0 {
+				t.Fatal("chaos run produced no coverage at all")
+			}
+			if res.FaultStats == nil {
+				t.Fatal("chaos run reported no fault stats")
+			}
+			var sum sim.Duration
+			for _, inst := range res.Instances {
+				if inst.Released < inst.Allocated {
+					t.Fatalf("instance %d released before allocated", inst.ID)
+				}
+				sum += inst.Released - inst.Allocated
+			}
+			if sum != res.MachineUsed {
+				t.Fatalf("machine time %v != per-instance lease sum %v (failed leases must stay charged)",
+					res.MachineUsed, sum)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism: the same seed must reproduce a chaos run byte for
+// byte — same coverage, same crash count, same faults, same traces.
+func TestChaosDeterminism(t *testing.T) {
+	fc := faults.DefaultConfig(0.20)
+	fc.MinLife = 1 * chaosMinute
+	fc.MaxLife = 5 * chaosMinute
+	a := chaosRun(t, TaOPTDuration, &fc, 7)
+	b := chaosRun(t, TaOPTDuration, &fc, 7)
+	if a.Union.Count() != b.Union.Count() {
+		t.Fatalf("coverage differs: %d vs %d", a.Union.Count(), b.Union.Count())
+	}
+	if a.UniqueCrashes != b.UniqueCrashes {
+		t.Fatalf("crashes differ: %d vs %d", a.UniqueCrashes, b.UniqueCrashes)
+	}
+	if a.FailedInstances != b.FailedInstances {
+		t.Fatalf("failed-instance counts differ: %d vs %d", a.FailedInstances, b.FailedInstances)
+	}
+	if *a.FaultStats != *b.FaultStats {
+		t.Fatalf("fault stats differ: %+v vs %+v", *a.FaultStats, *b.FaultStats)
+	}
+	if len(a.Instances) != len(b.Instances) {
+		t.Fatalf("instance counts differ: %d vs %d", len(a.Instances), len(b.Instances))
+	}
+	for i := range a.Instances {
+		if a.Instances[i].Trace.Len() != b.Instances[i].Trace.Len() {
+			t.Fatalf("instance %d trace lengths differ", i)
+		}
+		if a.Instances[i].Failed != b.Instances[i].Failed {
+			t.Fatalf("instance %d failure flags differ", i)
+		}
+	}
+}
+
+// TestChaosCoverageTolerance: with the coordinator replacing dead instances,
+// a 20% chaos run must retain at least half the fault-free coverage.
+func TestChaosCoverageTolerance(t *testing.T) {
+	fc := faults.DefaultConfig(0.20)
+	fc.MinLife = 1 * chaosMinute
+	fc.MaxLife = 5 * chaosMinute
+	clean := chaosRun(t, TaOPTDuration, nil, 3)
+	chaos := chaosRun(t, TaOPTDuration, &fc, 3)
+	if chaos.Union.Count() < clean.Union.Count()/2 {
+		t.Fatalf("chaos coverage %d collapsed below half of fault-free %d",
+			chaos.Union.Count(), clean.Union.Count())
+	}
+	if chaos.OrphansPending != 0 {
+		t.Fatalf("%d accepted subspaces never got a replacement owner", chaos.OrphansPending)
+	}
+}
+
+// TestChaosDeathChargesPartialLease: with every instance fated to die exactly
+// two minutes in, each lease must be charged exactly those two minutes and
+// marked failed.
+func TestChaosDeathChargesPartialLease(t *testing.T) {
+	fc := faults.Config{
+		FailureRate:  1.0,
+		HangFraction: 0,
+		MinLife:      2 * chaosMinute,
+		MaxLife:      2 * chaosMinute,
+	}
+	res, err := Run(RunConfig{
+		App:      mustLoad(t, "Filters For Selfie"),
+		Tool:     "monkey",
+		Setting:  BaselineParallel,
+		Duration: 10 * chaosMinute,
+		Seed:     5,
+		Faults:   &fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedInstances != DefaultInstances {
+		t.Fatalf("FailedInstances = %d, want %d", res.FailedInstances, DefaultInstances)
+	}
+	for _, inst := range res.Instances {
+		if !inst.Failed {
+			t.Fatalf("instance %d not marked failed", inst.ID)
+		}
+		if got := inst.Released - inst.Allocated; got != 2*chaosMinute {
+			t.Fatalf("instance %d lease = %v, want exactly 2m", inst.ID, got)
+		}
+	}
+	if want := sim.Duration(DefaultInstances) * 2 * chaosMinute; res.MachineUsed != want {
+		t.Fatalf("MachineUsed = %v, want %v", res.MachineUsed, want)
+	}
+	if res.FaultStats.Deaths != DefaultInstances || res.FaultStats.Hangs != 0 {
+		t.Fatalf("fault stats %+v, want %d deaths and no hangs", *res.FaultStats, DefaultInstances)
+	}
+}
+
+// TestChaosHungLeaseBilledUntilReaped: a hung instance produces no events but
+// stays allocated; the coordinator's heartbeat monitor must fail its lease —
+// charged up to the reap, not the hang — and boot a replacement.
+func TestChaosHungLeaseBilledUntilReaped(t *testing.T) {
+	fc := faults.Config{
+		FailureRate:  1.0,
+		HangFraction: 1.0,
+		MinLife:      1 * chaosMinute,
+		MaxLife:      1 * chaosMinute,
+	}
+	res, err := Run(RunConfig{
+		App:      mustLoad(t, "Filters For Selfie"),
+		Tool:     "monkey",
+		Setting:  TaOPTDuration,
+		Duration: 10 * chaosMinute,
+		Seed:     9,
+		Faults:   &fc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedInstances == 0 {
+		t.Fatal("no hung lease was ever failed")
+	}
+	if res.CoordinatorStats.Hangs == 0 {
+		t.Fatal("heartbeat monitor detected no hangs")
+	}
+	// Hang at 1m, heartbeat window 2m: a reaped lease outlives its hang.
+	// (Instances that hang right at the wall deadline are charged exactly
+	// their hang time — skip those boundary leases.)
+	outlived := false
+	for _, inst := range res.Instances {
+		if inst.Failed && inst.Released-inst.Allocated > 1*chaosMinute {
+			outlived = true
+			break
+		}
+	}
+	if !outlived {
+		t.Fatal("no hung lease was billed past its hang — reaping never charged the wedge time")
+	}
+}
+
+// TestChaosCampaignThreadsFaults: CampaignConfig.Faults must reach every cell
+// and surface in the summaries.
+func TestChaosCampaignThreadsFaults(t *testing.T) {
+	fc := faults.DefaultConfig(0.20)
+	fc.MinLife = 1 * chaosMinute
+	fc.MaxLife = 5 * chaosMinute
+	cfg := tinyConfig()
+	cfg.Faults = &fc
+	cell := mustCellT(t, NewCampaign(cfg), "Filters For Selfie", "monkey", TaOPTDuration)
+	if cell.FaultsInjected == 0 {
+		t.Fatal("chaos campaign cell reports no injected faults")
+	}
+	again := mustCellT(t, NewCampaign(cfg), "Filters For Selfie", "monkey", TaOPTDuration)
+	if cell.Union != again.Union || cell.FaultsInjected != again.FaultsInjected ||
+		cell.FailedInstances != again.FailedInstances {
+		t.Fatalf("chaos campaign cells not reproducible: %+v vs %+v", cell, again)
+	}
+}

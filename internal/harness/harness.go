@@ -12,6 +12,7 @@ import (
 	"taopt/internal/coverage"
 	"taopt/internal/crash"
 	"taopt/internal/device"
+	"taopt/internal/faults"
 	"taopt/internal/metrics"
 	"taopt/internal/sim"
 	"taopt/internal/toller"
@@ -89,6 +90,10 @@ type RunConfig struct {
 	// CoreConfig optionally overrides TaOPT's coordinator configuration
 	// (ablations); nil uses the mode's defaults.
 	CoreConfig *core.Config
+	// Faults, when non-nil and enabled, injects device-farm failures
+	// (instance death/hang, allocation outages, trace drop/delay) from a
+	// deterministic plan derived from the run seed. Nil runs fault-free.
+	Faults *faults.Config
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -115,6 +120,9 @@ type InstanceResult struct {
 	Trace     *trace.Log
 	Allocated sim.Duration
 	Released  sim.Duration
+	// Failed marks a lease terminated by an injected fault (death or hang)
+	// rather than a deliberate release.
+	Failed bool
 }
 
 // RunResult is the outcome of one campaign run.
@@ -138,6 +146,14 @@ type RunResult struct {
 	CoordinatorStats *core.Stats
 	// Book is the campaign's screen registry.
 	Book *trace.Book
+	// FailedInstances counts leases terminated by injected faults.
+	FailedInstances int
+	// FaultStats summarises the injected faults (nil on fault-free runs).
+	FaultStats *faults.Stats
+	// OrphansPending is how many accepted subspaces still awaited a
+	// replacement owner when the run ended (TaOPT settings only; always 0
+	// unless DropOrphans or the run ends mid-outage).
+	OrphansPending int
 }
 
 // InstanceSets returns the per-instance covered-method sets.
@@ -184,14 +200,21 @@ type actor struct {
 	driver  *toller.Driver
 	tool    tools.Tool
 	stopped bool
+	// hung marks an instance wedged by an injected fault: it stops
+	// producing events but its lease stays allocated (and billed) until a
+	// health monitor — or the end of the run — releases it.
+	hung bool
+	// failed marks an instance killed by an injected death.
+	failed bool
 }
 
 type runner struct {
-	cfg   RunConfig
-	sched *sim.Scheduler
-	farm  *device.Farm
-	book  *trace.Book
-	rng   *sim.RNG
+	cfg    RunConfig
+	sched  *sim.Scheduler
+	farm   *device.Farm
+	book   *trace.Book
+	rng    *sim.RNG
+	faults *faults.Plan // nil on fault-free runs
 
 	strategy strategy
 	coord    *core.Coordinator // non-nil for TaOPT settings
@@ -235,6 +258,9 @@ func newRunner(cfg RunConfig) *runner {
 		r.wallDeadline = cfg.MachineBudget
 	}
 	r.farm = device.NewFarm(cfg.App, r.rng.Fork(1000003), maxDevices, autoLogin)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		r.faults = faults.NewPlan(*cfg.Faults, r.rng.Fork(7000003))
+	}
 	r.strategy = newStrategy(r)
 	return r
 }
@@ -258,18 +284,24 @@ func (r *runner) ActiveInstances() []int {
 }
 
 // Allocate implements core.Env: it boots an instance, attaches the Toller
-// driver and the tool, and schedules its first step.
-func (r *runner) Allocate() (int, bool) {
+// driver and the tool, and schedules its first step. A wound-down run
+// returns a permanent error; a busy (or outage-stricken) farm returns an
+// error wrapping device.ErrFarmBusy, which the coordinator retries with
+// backoff.
+func (r *runner) Allocate() (int, error) {
 	if r.ended {
-		return 0, false
+		return 0, fmt.Errorf("harness: run ended")
 	}
 	now := r.sched.Now()
 	if r.wallDeadline != 0 && now >= r.wallDeadline {
-		return 0, false
+		return 0, fmt.Errorf("harness: wall deadline reached")
+	}
+	if r.faults.AllocationFails(now) {
+		return 0, fmt.Errorf("harness: injected allocation outage: %w", device.ErrFarmBusy)
 	}
 	al, err := r.farm.Allocate(now)
 	if err != nil {
-		return 0, false
+		return 0, err
 	}
 	id := al.Emu.ID
 	driver := toller.NewDriver(al.Emu, r.book, now)
@@ -280,21 +312,72 @@ func (r *runner) Allocate() (int, bool) {
 		tool:   tools.MustNew(r.cfg.Tool, r.rng.Fork(int64(id)).Int63()),
 	}
 	driver.Subscribe(toller.ListenerFunc(r.recordEvent))
-	driver.Subscribe(toller.ListenerFunc(r.strategy.onEvent))
+	driver.Subscribe(toller.ListenerFunc(r.deliverToStrategy))
 	r.actors[id] = a
 	r.order = append(r.order, id)
 	r.scheduleStep(a, 0)
-	return id, true
+	if fate, fated := r.faults.InstanceFate(id); fated {
+		kind := fate.Kind
+		r.sched.After(fate.After, sim.EventFunc(func(*sim.Scheduler) {
+			switch kind {
+			case faults.Death:
+				r.killInstance(id)
+			case faults.Hang:
+				r.hangInstance(id)
+			}
+		}))
+	}
+	return id, nil
 }
 
-// Deallocate implements core.Env.
-func (r *runner) Deallocate(id int) {
+// Deallocate implements core.Env. Unknown IDs and double releases are
+// errors the coordinator records; hung instances end as failed leases.
+func (r *runner) Deallocate(id int) error {
+	a, ok := r.actors[id]
+	if !ok {
+		return fmt.Errorf("harness: %w: %d", device.ErrUnknownInstance, id)
+	}
+	if a.stopped {
+		return fmt.Errorf("harness: %w: %d", device.ErrDoubleRelease, id)
+	}
+	a.stopped = true
+	now := r.sched.Now()
+	if a.hung {
+		_, err := r.farm.Fail(id, now)
+		return err
+	}
+	_, err := r.farm.Release(id, now)
+	return err
+}
+
+// killInstance fires an injected death: the emulator process is gone
+// mid-run, the lease is charged machine time up to this moment, and the
+// instance silently stops stepping — the coordinator finds out through its
+// health monitor, exactly as a real farm's client would.
+func (r *runner) killInstance(id int) {
+	if r.ended {
+		return
+	}
 	a, ok := r.actors[id]
 	if !ok || a.stopped {
 		return
 	}
 	a.stopped = true
-	r.farm.Release(id, r.sched.Now())
+	a.failed = true
+	r.farm.Fail(id, r.sched.Now())
+}
+
+// hangInstance fires an injected hang: the instance stops producing trace
+// events but stays allocated and billed until released.
+func (r *runner) hangInstance(id int) {
+	if r.ended {
+		return
+	}
+	a, ok := r.actors[id]
+	if !ok || a.stopped || a.hung {
+		return
+	}
+	a.hung = true
 }
 
 // Blocks implements core.Env.
@@ -317,12 +400,32 @@ func (r *runner) recordEvent(ev trace.Event) {
 	r.occurrences[ev.To]++
 }
 
+// deliverToStrategy forwards one trace event to the strategy, subject to the
+// fault plan's trace-delivery decision: events may be lost or arrive late at
+// the analyzer. Measurement recording (recordEvent) is unaffected — faults
+// degrade coordination, not the experiment's ground truth.
+func (r *runner) deliverToStrategy(ev trace.Event) {
+	drop, delay := r.faults.TraceDelivery()
+	if drop {
+		return
+	}
+	if delay > 0 {
+		r.sched.After(delay, sim.EventFunc(func(*sim.Scheduler) {
+			if !r.ended {
+				r.strategy.onEvent(ev)
+			}
+		}))
+		return
+	}
+	r.strategy.onEvent(ev)
+}
+
 func (r *runner) scheduleStep(a *actor, after sim.Duration) {
 	r.sched.After(after, sim.EventFunc(func(*sim.Scheduler) { r.step(a) }))
 }
 
 func (r *runner) step(a *actor) {
-	if a.stopped || r.ended {
+	if a.stopped || a.hung || r.ended {
 		return
 	}
 	now := r.sched.Now()
@@ -354,8 +457,19 @@ func (r *runner) endRun() {
 	for _, a := range r.actors {
 		a.stopped = true
 	}
+	r.failHungLeases(now)
 	r.farm.ReleaseAll(now)
 	r.sched.Halt()
+}
+
+// failHungLeases charges still-hung instances as failed before the final
+// sweep, so end-of-run accounting distinguishes them from clean releases.
+func (r *runner) failHungLeases(now sim.Duration) {
+	for _, a := range r.actors {
+		if a.hung && !a.al.Done() {
+			r.farm.Fail(a.id, now)
+		}
+	}
 }
 
 func (r *runner) sample() {
@@ -384,14 +498,22 @@ func (r *runner) sample() {
 
 func (r *runner) run() {
 	r.strategy.start()
-	// Periodic sampling until the run winds down.
+	// Periodic sampling until the run winds down. The same cadence drives
+	// the strategy's tick (TaOPT's health monitor and allocation retries):
+	// dead and hung instances produce no events, so event-driven hooks alone
+	// would never notice them.
 	var tick func(*sim.Scheduler)
 	tick = func(*sim.Scheduler) {
 		if r.ended {
 			return
 		}
 		r.sample()
-		if r.wallDeadline != 0 && r.sched.Now() >= r.wallDeadline {
+		now := r.sched.Now()
+		if r.wallDeadline != 0 && now >= r.wallDeadline {
+			return
+		}
+		r.strategy.tick(now)
+		if r.ended {
 			return
 		}
 		r.sched.After(r.cfg.SampleEvery, sim.EventFunc(tick))
@@ -401,7 +523,9 @@ func (r *runner) run() {
 	r.sched.Run(r.wallDeadline)
 	if !r.ended {
 		r.ended = true
-		r.farm.ReleaseAll(r.sched.Now())
+		now := r.sched.Now()
+		r.failHungLeases(now)
+		r.farm.ReleaseAll(now)
 	}
 	r.sample()
 }
@@ -424,7 +548,13 @@ func (r *runner) result() *RunResult {
 			Trace:     a.driver.Trace(),
 			Allocated: a.al.Since,
 			Released:  a.al.Until,
+			Failed:    a.al.Failed,
 		})
+	}
+	res.FailedInstances = r.farm.FailedCount()
+	if r.faults != nil {
+		st := r.faults.Stats()
+		res.FaultStats = &st
 	}
 	if len(res.Instances) > 0 {
 		res.Union = coverage.UnionOf(res.InstanceSets())
@@ -440,6 +570,7 @@ func (r *runner) result() *RunResult {
 		res.Subspaces = r.coord.Subspaces()
 		st := r.coord.DecisionStats()
 		res.CoordinatorStats = &st
+		res.OrphansPending = r.coord.OrphanCount()
 	}
 	return res
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"sort"
 
+	"taopt/internal/sim"
 	"taopt/internal/trace"
 	"taopt/internal/ui"
 )
@@ -47,17 +48,19 @@ func newPATS(r *runner) *pats {
 }
 
 func (s *pats) start() {
-	if id, ok := s.r.Allocate(); ok {
+	if id, err := s.r.Allocate(); err == nil {
 		s.master = id
 	}
 	// Slaves boot immediately (PATS keeps the pool warm) but idle near the
 	// app root until they receive tasks.
 	for i := 1; i < s.r.cfg.Instances; i++ {
-		if id, ok := s.r.Allocate(); ok {
+		if id, err := s.r.Allocate(); err == nil {
 			s.slaves = append(s.slaves, id)
 		}
 	}
 }
+
+func (s *pats) tick(sim.Duration) {}
 
 func (s *pats) onEvent(ev trace.Event) {
 	if ev.Instance != s.master || ev.Enforced {

@@ -4,15 +4,22 @@ import (
 	"sort"
 
 	"taopt/internal/core"
+	"taopt/internal/sim"
 	"taopt/internal/trace"
 )
 
 // strategy is a parallelization strategy driving a run: it allocates
-// instances and may react to transition events. TaOPT's coordinator is one
-// implementation; the preliminary-study baselines are the others.
+// instances and may react to transition events and the harness's periodic
+// tick. TaOPT's coordinator is one implementation; the preliminary-study
+// baselines are the others.
 type strategy interface {
 	start()
 	onEvent(ev trace.Event)
+	// tick runs at the harness's sampling cadence; it is the only hook that
+	// fires while no trace events arrive, which is when failed instances
+	// need noticing. Baselines ignore it — they have no coordinator, so a
+	// dead instance simply stays dead, exactly as in an uncoordinated farm.
+	tick(now sim.Duration)
 }
 
 func newStrategy(r *runner) strategy {
@@ -50,6 +57,8 @@ func (s *uncoordinated) start() {
 
 func (s *uncoordinated) onEvent(trace.Event) {}
 
+func (s *uncoordinated) tick(sim.Duration) {}
+
 // activityPartition is the ParaAim-style baseline of RQ2: the app's Activity
 // set (as a static analysis would extract it) is split round-robin across
 // instances, and each instance is confined to its share. The launcher
@@ -75,8 +84,8 @@ func (s *activityPartition) start() {
 		slot++
 	}
 	for i := 0; i < r.cfg.Instances; i++ {
-		id, ok := r.Allocate()
-		if !ok {
+		id, err := r.Allocate()
+		if err != nil {
 			break
 		}
 		allowed := append([]string{launcher}, shares[i]...)
@@ -88,6 +97,8 @@ func (s *activityPartition) start() {
 }
 
 func (s *activityPartition) onEvent(trace.Event) {}
+
+func (s *activityPartition) tick(sim.Duration) {}
 
 // taopt adapts core.Coordinator to the strategy interface.
 type taopt struct {
@@ -108,3 +119,5 @@ func newTaOPT(r *runner, mode core.Mode) *taopt {
 func (s *taopt) start() { s.coord.Start() }
 
 func (s *taopt) onEvent(ev trace.Event) { s.coord.OnTransition(ev) }
+
+func (s *taopt) tick(now sim.Duration) { s.coord.Tick(now) }

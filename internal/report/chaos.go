@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"taopt/internal/faults"
+	"taopt/internal/harness"
+	"taopt/internal/metrics"
+)
+
+// chaosRates are the instance-failure rates of the robustness experiment.
+// 0% is the paper's (implicitly fault-free) setup; 5% models a healthy
+// commercial device farm; 20% models the flaky in-house labs that Section 8's
+// deployment notes warn about.
+var chaosRates = []float64{0, 0.05, 0.20}
+
+// Chaos prints the fault-injection experiment: the campaign grid re-run under
+// increasing instance-failure rates, with coverage, crash and
+// behaviour-preservation deltas against the fault-free run. The fault mix per
+// rate is faults.DefaultConfig; every chaos campaign derives its plans from
+// the same campaign seed, so the table is byte-for-byte reproducible.
+func Chaos(w io.Writer, c *harness.Campaign) error {
+	header(w, "Chaos: TaOPT under injected device-farm failures")
+
+	// One derived campaign per rate; rate 0 reuses the caller's campaign (and
+	// its cache).
+	campaigns := make([]*harness.Campaign, len(chaosRates))
+	for i, rate := range chaosRates {
+		if rate == 0 {
+			campaigns[i] = c
+			continue
+		}
+		cfg := c.Config()
+		fc := faults.DefaultConfig(rate)
+		cfg.Faults = &fc
+		campaigns[i] = harness.NewCampaign(cfg)
+	}
+
+	for _, setting := range []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource} {
+		fmt.Fprintf(w, "\n%s\n", setting)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Tool\tFailure rate\tCoverage\tΔ cov.\tCrashes\tFailed inst.\tFaults\tOrphans\tJaccard vs fault-free")
+		for _, tool := range c.Tools() {
+			baseCov := 0.0
+			for i, rate := range chaosRates {
+				var cov, crashes, failed, injected, orphans float64
+				var jacc float64
+				for _, appName := range c.Apps() {
+					cell, err := campaigns[i].Cell(appName, tool, setting)
+					if err != nil {
+						return err
+					}
+					cov += float64(cell.Union)
+					crashes += float64(cell.UniqueCrashes)
+					failed += float64(cell.FailedInstances)
+					injected += float64(cell.FaultsInjected)
+					orphans += float64(cell.OrphansPending)
+					clean, err := campaigns[0].Cell(appName, tool, setting)
+					if err != nil {
+						return err
+					}
+					jacc += metrics.Jaccard(clean.UnionSet, cell.UnionSet)
+				}
+				n := float64(len(c.Apps()))
+				if rate == 0 {
+					baseCov = cov
+				}
+				delta := "-"
+				if rate > 0 && baseCov > 0 {
+					delta = fmt.Sprintf("%+.1f%%", 100*(cov-baseCov)/baseCov)
+				}
+				fmt.Fprintf(tw, "%s\t%.0f%%\t%.0f\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
+					toolLabel(tool), 100*rate, cov/n, delta, crashes/n, failed/n, injected/n, orphans/n, jacc/n)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

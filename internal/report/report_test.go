@@ -74,3 +74,32 @@ func TestTable4DeltasConsistent(t *testing.T) {
 		t.Fatal("re-rendered table differs: cells not cached deterministically")
 	}
 }
+
+// TestChaosRenderer exercises the fault-injection table on a one-app
+// campaign: it must print all three failure rates and reproduce exactly
+// across invocations (the chaos campaigns derive their plans from the same
+// campaign seed).
+func TestChaosRenderer(t *testing.T) {
+	render := func() string {
+		c := harness.NewCampaign(harness.CampaignConfig{
+			Apps:     []string{"Filters For Selfie"},
+			Tools:    []string{"monkey"},
+			Duration: 8 * sim.Duration(60e9),
+			Seed:     3,
+		})
+		var sb strings.Builder
+		if err := Chaos(&sb, c); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	out := render()
+	for _, want := range []string{"Chaos", "0%", "5%", "20%", "Jaccard vs fault-free", "taopt-duration", "taopt-resource"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+	if again := render(); again != out {
+		t.Fatalf("chaos table not reproducible:\n--- first\n%s\n--- second\n%s", out, again)
+	}
+}

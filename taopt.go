@@ -34,6 +34,7 @@ import (
 	"taopt/internal/core"
 	"taopt/internal/coverage"
 	"taopt/internal/crash"
+	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/metrics"
 	"taopt/internal/sim"
@@ -72,6 +73,12 @@ type (
 	// Timeline is a run's sampled progress (wall time, machine time,
 	// coverage, crashes, AJS).
 	Timeline = metrics.Timeline
+	// FaultConfig parameterises deterministic device-farm fault injection
+	// (chaos campaigns); pass one via RunConfig.Faults or
+	// CampaignConfig.Faults.
+	FaultConfig = faults.Config
+	// FaultStats counts the faults a chaos run injected.
+	FaultStats = faults.Stats
 	// Duration is virtual time.
 	Duration = sim.Duration
 	// ScreenSignature identifies an abstract UI screen.
@@ -141,6 +148,13 @@ func ToolNames() []string { return tools.Names() }
 // a mode; override fields for ablations and pass it via RunConfig.CoreConfig.
 func DefaultCoordinatorConfig(mode core.Mode) CoordinatorConfig {
 	return core.DefaultConfig(mode)
+}
+
+// DefaultFaultConfig returns a calibrated fault mix for the given
+// instance-failure rate (deaths, hangs, allocation outages, trace loss and
+// delay); see internal/faults for the knobs.
+func DefaultFaultConfig(failureRate float64) FaultConfig {
+	return faults.DefaultConfig(failureRate)
 }
 
 // Jaccard returns the Jaccard similarity of two covered-method sets.
