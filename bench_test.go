@@ -11,6 +11,7 @@ package taopt
 // output doubles as a quick-look reproduction check.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -351,6 +352,31 @@ func BenchmarkAblationNoWarmup(b *testing.B) {
 		delta = 100 * (no - base) / base
 	}
 	b.ReportMetric(delta, "%-coverage-change")
+}
+
+// BenchmarkFleetExperimentGrid measures a small campaign grid through the
+// fleet worker pool — the machinery behind cmd/experiments' -workers flag.
+// Every width computes identical cells (the seed of a cell derives from its
+// key alone); the wall-clock ratio between the sub-benchmarks shows what
+// parallel prefetching buys on this machine. Each cell is one single-threaded
+// simulation, so the speedup ceiling is min(workers, cells, CPUs).
+func BenchmarkFleetExperimentGrid(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := harness.NewCampaign(harness.CampaignConfig{
+					Apps:     benchApps,
+					Tools:    []string{"monkey", "ape"},
+					Duration: benchMinutes * Minute,
+					Seed:     int64(i + 1),
+					Workers:  workers,
+				})
+				if err := c.Prefetch(nil, harness.BaselineParallel, harness.TaOPTDuration); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Micro-benchmarks on the hot algorithms -------------------------------

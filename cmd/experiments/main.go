@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments -exp all                 # everything, full 18-app grid (slow)
+//	experiments -exp all -workers 0      # same output, one campaign cell per CPU
 //	experiments -exp table4 -apps AccuWeather,Zedge
 //	experiments -exp fig5 -minutes 20    # scaled-down budgets
 //
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"taopt/internal/apps"
@@ -122,9 +124,13 @@ func main() {
 		instances = flag.Int("instances", harness.DefaultInstances, "concurrent instances d_max")
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		faultRate = flag.Float64("faults", 0, "instance-failure rate for fault injection (chaos derives its own 0/5/20% grid)")
+		workers   = flag.Int("workers", 1, "campaign cells computed in parallel (0 = GOMAXPROCS); results are identical to -workers=1")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	fn, ok := experiments[*exp]
 	if !ok && *exp != "grid" {
@@ -136,6 +142,7 @@ func main() {
 		Instances: *instances,
 		Duration:  sim.Duration(*minutes) * sim.Duration(60e9),
 		Seed:      *seed,
+		Workers:   *workers,
 	}
 	if *appsFlag != "" {
 		cfg.Apps = splitList(*appsFlag)

@@ -20,6 +20,7 @@ import (
 
 	"taopt/internal/app"
 	"taopt/internal/apps"
+	"taopt/internal/cli"
 	"taopt/internal/core"
 	"taopt/internal/export"
 	"taopt/internal/faults"
@@ -138,8 +139,8 @@ func main() {
 	if res.CoordinatorStats != nil {
 		fmt.Printf("coordinator:    %+v\n", *res.CoordinatorStats)
 	}
-	if res.FaultStats != nil {
-		fmt.Printf("faults:         %+v\n", *res.FaultStats)
+	if res.Transport.Injected() > 0 {
+		fmt.Printf("transport:      %+v\n", res.Transport)
 		fmt.Printf("failed leases:  %d (orphaned subspaces pending: %d)\n",
 			res.FailedInstances, res.OrphansPending)
 	}
@@ -222,7 +223,4 @@ func parseSetting(s string) (harness.Setting, error) {
 	}
 }
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "taopt: "+format+"\n", args...)
-	os.Exit(1)
-}
+var fatalf = cli.Fatalf("taopt")

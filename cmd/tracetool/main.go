@@ -18,6 +18,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"taopt/internal/cli"
 	"taopt/internal/export"
 	"taopt/internal/graph"
 	"taopt/internal/metrics"
@@ -150,7 +151,4 @@ func dominantActivity(g *graph.Graph, grp []int, activityOf map[uint64]string) s
 	return keys[0]
 }
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "tracetool: "+format+"\n", args...)
-	os.Exit(1)
-}
+var fatalf = cli.Fatalf("tracetool")

@@ -1,0 +1,73 @@
+package taopt
+
+import (
+	"bytes"
+	"testing"
+
+	"taopt/internal/export"
+	"taopt/internal/harness/fleet"
+)
+
+// goldenExport runs one fixed-seed campaign run end to end and serialises it,
+// loading the app inside the call so concurrent invocations share nothing.
+func goldenExport(seed int64, faultRate float64) ([]byte, error) {
+	cfg := RunConfig{
+		App:      LoadApp("AccuWeather"),
+		Tool:     "monkey",
+		Setting:  TaOPTDuration,
+		Duration: 8 * Minute,
+		Seed:     seed,
+	}
+	if faultRate > 0 {
+		fc := DefaultFaultConfig(faultRate)
+		cfg.Faults = &fc
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := export.FromResult(res).Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TestFleetSeedStabilityGolden is the end-to-end determinism pin: the same
+// configuration must export byte-identical JSON whether run twice serially or
+// fanned out across fleet workers. Any hidden shared state, map-order leak or
+// RNG-stream change in the transport refactor shows up here as a diff.
+func TestFleetSeedStabilityGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		faultRate float64
+	}{
+		{"fault-free", 0},
+		{"chaos", 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := goldenExport(11, tc.faultRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := goldenExport(11, tc.faultRate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, again) {
+				t.Fatal("two serial runs of the same config exported different JSON")
+			}
+			results := fleet.Map(4, 4, func(int) ([]byte, error) {
+				return goldenExport(11, tc.faultRate)
+			})
+			for i, r := range results {
+				if r.Err != nil {
+					t.Fatalf("fleet job %d: %v", i, r.Err)
+				}
+				if !bytes.Equal(want, r.Value) {
+					t.Fatalf("fleet job %d exported different JSON than the serial run", i)
+				}
+			}
+		})
+	}
+}

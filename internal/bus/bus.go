@@ -1,0 +1,170 @@
+// Package bus is the coordination transport layer: the message fabric
+// between testing instances and the test coordinator. Trace events flow up
+// (instance → coordinator) through Publish/Subscribe; entrypoint blocks and
+// lifecycle commands flow down (coordinator → executor) through Send.
+//
+// TaOPT's contribution is making parallel-testing coordination
+// tool-agnostic; this package makes it transport-agnostic the same way. The
+// coordinator consumes trace events and emits commands without knowing
+// whether they travel in-process (Inline) or through a lossy, delaying farm
+// network (WithFaults) — and fault injection composes as a transport
+// decorator instead of special cases inside the run executor.
+package bus
+
+import (
+	"errors"
+
+	"taopt/internal/trace"
+	"taopt/internal/ui"
+)
+
+// CommandKind enumerates the coordinator → executor commands.
+type CommandKind int
+
+// Command kinds.
+const (
+	// Allocate boots a new testing instance; the Reply carries its ID.
+	Allocate CommandKind = iota
+	// Deallocate releases a running instance.
+	Deallocate
+	// BlockWidget disables one widget on one screen of one instance, so the
+	// tool can no longer take that edge into a dedicated subspace.
+	BlockWidget
+	// BlockMember marks a screen as subspace-owned on one instance, so the
+	// driver steers the tool out if it slips in through an unobserved edge.
+	BlockMember
+	// Kill terminates an instance's emulator process mid-run (injected
+	// death); the instance silently stops stepping.
+	Kill
+	// Hang wedges an instance (injected hang): it stops producing trace
+	// events but stays allocated and billed until released.
+	Hang
+)
+
+func (k CommandKind) String() string {
+	switch k {
+	case Allocate:
+		return "allocate"
+	case Deallocate:
+		return "deallocate"
+	case BlockWidget:
+		return "block-widget"
+	case BlockMember:
+		return "block-member"
+	case Kill:
+		return "kill"
+	case Hang:
+		return "hang"
+	default:
+		return "unknown-command"
+	}
+}
+
+// Command is one coordinator → executor message. Instance addresses every
+// kind except Allocate; Screen and Widget parameterise the block commands.
+type Command struct {
+	Kind     CommandKind
+	Instance int
+	Screen   ui.Signature
+	Widget   ui.WidgetPath
+}
+
+// Reply is the executor's synchronous answer to a Command. For Allocate,
+// Instance is the booted instance's ID.
+type Reply struct {
+	Instance int
+	Err      error
+}
+
+// Sender is the coordinator-facing half of a transport: fire a command at
+// the executor and get its reply. core.Coordinator holds only this.
+type Sender interface {
+	Send(cmd Command) Reply
+}
+
+// Executor is the executor-facing half: the run harness implements it to
+// perform commands against the farm and the Toller drivers.
+type Executor interface {
+	Exec(cmd Command) Reply
+}
+
+// Stats is a transport's delivery accounting. Published counts trace events
+// handed to the transport; Delivered counts those that reached subscribers
+// (the difference is injected drops); Commands counts executor commands
+// carried. The fault counters mirror the decorating plan's injections and
+// stay zero on an undecorated transport.
+type Stats struct {
+	Published int
+	Delivered int
+	Commands  int
+
+	Dropped       int
+	Delayed       int
+	Deaths        int
+	Hangs         int
+	AllocFailures int
+}
+
+// Injected totals the injected faults the transport carried (the decorated
+// equivalent of faults.Stats.Total).
+func (s Stats) Injected() int {
+	return s.Dropped + s.Delayed + s.Deaths + s.Hangs + s.AllocFailures
+}
+
+// Transport carries both directions of the coordination protocol plus its
+// accounting. Implementations are single-threaded, like everything on the
+// virtual clock: one run owns one transport.
+type Transport interface {
+	Sender
+	// Publish forwards one trace event toward the subscribers.
+	Publish(ev trace.Event)
+	// Subscribe registers a trace-event consumer. Subscribers are invoked in
+	// registration order.
+	Subscribe(fn func(ev trace.Event))
+	// Bind attaches the executor endpoint that performs commands.
+	Bind(ex Executor)
+	// Stats returns the delivery accounting so far.
+	Stats() Stats
+}
+
+// ErrNotBound is returned for commands sent before Bind.
+var ErrNotBound = errors.New("bus: no executor bound")
+
+// Inline is the synchronous in-process transport: events and commands are
+// delivered immediately, in order, with no loss — the fabric of a fault-free
+// simulated run.
+type Inline struct {
+	subs  []func(trace.Event)
+	ex    Executor
+	stats Stats
+}
+
+// NewInline returns an empty in-process transport.
+func NewInline() *Inline { return &Inline{} }
+
+// Publish implements Transport.
+func (t *Inline) Publish(ev trace.Event) {
+	t.stats.Published++
+	t.stats.Delivered++
+	for _, fn := range t.subs {
+		fn(ev)
+	}
+}
+
+// Subscribe implements Transport.
+func (t *Inline) Subscribe(fn func(ev trace.Event)) { t.subs = append(t.subs, fn) }
+
+// Bind implements Transport.
+func (t *Inline) Bind(ex Executor) { t.ex = ex }
+
+// Send implements Transport.
+func (t *Inline) Send(cmd Command) Reply {
+	if t.ex == nil {
+		return Reply{Err: ErrNotBound}
+	}
+	t.stats.Commands++
+	return t.ex.Exec(cmd)
+}
+
+// Stats implements Transport.
+func (t *Inline) Stats() Stats { return t.stats }

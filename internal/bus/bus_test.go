@@ -1,0 +1,154 @@
+package bus
+
+import (
+	"errors"
+	"testing"
+
+	"taopt/internal/device"
+	"taopt/internal/faults"
+	"taopt/internal/sim"
+	"taopt/internal/trace"
+)
+
+type execRecorder struct {
+	cmds []Command
+	next int
+}
+
+func (e *execRecorder) Exec(cmd Command) Reply {
+	e.cmds = append(e.cmds, cmd)
+	if cmd.Kind == Allocate {
+		e.next++
+		return Reply{Instance: e.next}
+	}
+	return Reply{Instance: cmd.Instance}
+}
+
+func TestInlineDeliversInOrder(t *testing.T) {
+	tr := NewInline()
+	var first, second []int
+	tr.Subscribe(func(ev trace.Event) { first = append(first, ev.Instance) })
+	tr.Subscribe(func(ev trace.Event) {
+		// Registration order: the first subscriber must already have seen it.
+		if len(first) != len(second)+1 {
+			t.Fatal("subscribers invoked out of registration order")
+		}
+		second = append(second, ev.Instance)
+	})
+	for i := 0; i < 3; i++ {
+		tr.Publish(trace.Event{Instance: i})
+	}
+	for i, got := range first {
+		if got != i {
+			t.Fatalf("events out of order: %v", first)
+		}
+	}
+	st := tr.Stats()
+	if st.Published != 3 || st.Delivered != 3 || st.Injected() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInlineSendRequiresBind(t *testing.T) {
+	tr := NewInline()
+	if rep := tr.Send(Command{Kind: Allocate}); !errors.Is(rep.Err, ErrNotBound) {
+		t.Fatalf("unbound Send err = %v, want ErrNotBound", rep.Err)
+	}
+	ex := &execRecorder{}
+	tr.Bind(ex)
+	rep := tr.Send(Command{Kind: Allocate})
+	if rep.Err != nil || rep.Instance != 1 {
+		t.Fatalf("bound Send reply = %+v", rep)
+	}
+	tr.Send(Command{Kind: BlockMember, Instance: 1})
+	if len(ex.cmds) != 2 || ex.cmds[1].Kind != BlockMember {
+		t.Fatalf("executor saw %+v", ex.cmds)
+	}
+	if st := tr.Stats(); st.Commands != 2 {
+		t.Fatalf("Commands = %d, want 2", st.Commands)
+	}
+}
+
+func TestWithFaultsNilPlanIsPassthrough(t *testing.T) {
+	inner := NewInline()
+	if got := WithFaults(inner, nil, sim.NewScheduler()); got != Transport(inner) {
+		t.Fatal("nil plan must return the inner transport unchanged")
+	}
+}
+
+func TestWithFaultsDropsAndDelaysTraceEvents(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := faults.Config{TraceDropRate: 1}
+	tr := WithFaults(NewInline(), faults.PlanFor(&cfg, sim.NewRNG(1)), sched)
+	seen := 0
+	tr.Subscribe(func(trace.Event) { seen++ })
+	for i := 0; i < 5; i++ {
+		tr.Publish(trace.Event{Instance: i})
+	}
+	if seen != 0 {
+		t.Fatalf("%d events leaked through a 100%% drop plan", seen)
+	}
+	if st := tr.Stats(); st.Published != 5 || st.Delivered != 0 || st.Dropped != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	cfg = faults.Config{TraceDelayRate: 1, TraceDelayMax: 2 * sim.Duration(1e9)}
+	tr = WithFaults(NewInline(), faults.PlanFor(&cfg, sim.NewRNG(1)), sched)
+	seen = 0
+	tr.Subscribe(func(trace.Event) { seen++ })
+	tr.Publish(trace.Event{})
+	if seen != 0 {
+		t.Fatal("delayed event delivered before its delay elapsed")
+	}
+	sched.Run(0)
+	if seen != 1 {
+		t.Fatalf("delayed event delivered %d times after the clock ran", seen)
+	}
+	if st := tr.Stats(); st.Delivered != 1 || st.Delayed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWithFaultsAllocationOutage(t *testing.T) {
+	cfg := faults.Config{AllocFailRate: 1, AllocOutage: 90 * sim.Duration(1e9)}
+	tr := WithFaults(NewInline(), faults.PlanFor(&cfg, sim.NewRNG(1)), sim.NewScheduler())
+	ex := &execRecorder{}
+	tr.Bind(ex)
+	rep := tr.Send(Command{Kind: Allocate})
+	if !errors.Is(rep.Err, device.ErrFarmBusy) {
+		t.Fatalf("outage err = %v, want ErrFarmBusy (retryable)", rep.Err)
+	}
+	if len(ex.cmds) != 0 {
+		t.Fatal("failed allocation must not reach the executor")
+	}
+	// Non-allocation commands bypass the outage model entirely.
+	if rep := tr.Send(Command{Kind: BlockMember, Instance: 3}); rep.Err != nil {
+		t.Fatalf("block command failed during outage: %v", rep.Err)
+	}
+	if st := tr.Stats(); st.AllocFailures == 0 {
+		t.Fatalf("stats = %+v, want AllocFailures > 0", st)
+	}
+}
+
+func TestWithFaultsSchedulesInstanceFate(t *testing.T) {
+	life := 10 * sim.Duration(1e9)
+	cfg := faults.Config{FailureRate: 1, MinLife: life, MaxLife: life}
+	sched := sim.NewScheduler()
+	tr := WithFaults(NewInline(), faults.PlanFor(&cfg, sim.NewRNG(1)), sched)
+	ex := &execRecorder{}
+	tr.Bind(ex)
+	rep := tr.Send(Command{Kind: Allocate})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if end := sched.Run(0); end != life {
+		t.Fatalf("fate fired at %v, want %v", end, life)
+	}
+	last := ex.cmds[len(ex.cmds)-1]
+	if last.Kind != Kill || last.Instance != rep.Instance {
+		t.Fatalf("fate command = %+v, want Kill for instance %d", last, rep.Instance)
+	}
+	if st := tr.Stats(); st.Deaths != 1 {
+		t.Fatalf("stats = %+v, want 1 death", st)
+	}
+}

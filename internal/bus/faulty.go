@@ -1,0 +1,100 @@
+package bus
+
+import (
+	"fmt"
+
+	"taopt/internal/device"
+	"taopt/internal/faults"
+	"taopt/internal/sim"
+	"taopt/internal/trace"
+)
+
+// WithFaults wraps inner in the chaos transport: a simulated lossy, delaying
+// farm network whose trace events may be dropped or arrive late, and whose
+// allocation commands suffer injected outages and draw instance fates. Every
+// decision comes from plan's deterministic streams and fires on the virtual
+// clock, so a decorated run is exactly reproducible from its seed.
+//
+// A nil plan returns inner unchanged — fault-free runs pay nothing and the
+// executor needs no fault-enabled branches.
+func WithFaults(inner Transport, plan *faults.Plan, sched *sim.Scheduler) Transport {
+	if plan == nil {
+		return inner
+	}
+	return &faulty{inner: inner, plan: plan, sched: sched}
+}
+
+// faulty is the fault-decorator transport. It owns the *application* of the
+// plan's decisions (dropping, rescheduling, failing commands, firing fates);
+// the *drawing* of those decisions stays in faults.Plan so the RNG stream
+// identities match the plan's documented fork layout.
+type faulty struct {
+	inner Transport
+	plan  *faults.Plan
+	sched *sim.Scheduler
+}
+
+// Publish implements Transport: each event is dropped, delayed, or forwarded
+// per the plan's trace-delivery stream. A delayed event re-enters the inner
+// transport when its delay elapses on the virtual clock.
+func (t *faulty) Publish(ev trace.Event) {
+	drop, delay := t.plan.TraceDelivery()
+	if drop {
+		return
+	}
+	if delay > 0 {
+		t.sched.After(delay, sim.EventFunc(func(*sim.Scheduler) {
+			t.inner.Publish(ev)
+		}))
+		return
+	}
+	t.inner.Publish(ev)
+}
+
+// Subscribe implements Transport.
+func (t *faulty) Subscribe(fn func(ev trace.Event)) { t.inner.Subscribe(fn) }
+
+// Bind implements Transport.
+func (t *faulty) Bind(ex Executor) { t.inner.Bind(ex) }
+
+// Send implements Transport. Allocation commands pass through the plan's
+// outage model first; a successful allocation draws the new instance's fate
+// and, if it is doomed, schedules the matching Kill/Hang command back through
+// the inner transport at the fated time.
+func (t *faulty) Send(cmd Command) Reply {
+	if cmd.Kind != Allocate {
+		return t.inner.Send(cmd)
+	}
+	if t.plan.AllocationFails(t.sched.Now()) {
+		return Reply{Err: fmt.Errorf("bus: injected allocation outage: %w", device.ErrFarmBusy)}
+	}
+	rep := t.inner.Send(cmd)
+	if rep.Err == nil {
+		if fate, fated := t.plan.InstanceFate(rep.Instance); fated {
+			kind := Kill
+			if fate.Kind == faults.Hang {
+				kind = Hang
+			}
+			id := rep.Instance
+			t.sched.After(fate.After, sim.EventFunc(func(*sim.Scheduler) {
+				t.inner.Send(Command{Kind: kind, Instance: id})
+			}))
+		}
+	}
+	return rep
+}
+
+// Stats implements Transport: the inner counts plus the plan's injections.
+// Dropped events were published at this transport but never reached inner,
+// so they are added back into Published.
+func (t *faulty) Stats() Stats {
+	s := t.inner.Stats()
+	fs := t.plan.Stats()
+	s.Published += fs.TraceDrops
+	s.Dropped = fs.TraceDrops
+	s.Delayed = fs.TraceDelays
+	s.Deaths = fs.Deaths
+	s.Hangs = fs.Hangs
+	s.AllocFailures = fs.AllocFailures
+	return s
+}

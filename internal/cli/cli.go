@@ -1,0 +1,17 @@
+// Package cli holds the small helpers shared by this repository's command
+// binaries.
+package cli
+
+import (
+	"fmt"
+	"os"
+)
+
+// Fatalf returns the program's fatal-error reporter: a printf that prefixes
+// the program name, writes to stderr, and exits with status 1.
+func Fatalf(prog string) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, prog+": "+format+"\n", args...)
+		os.Exit(1)
+	}
+}

@@ -4,9 +4,9 @@ import (
 	"errors"
 	"sort"
 
+	"taopt/internal/bus"
 	"taopt/internal/device"
 	"taopt/internal/sim"
-	"taopt/internal/toller"
 	"taopt/internal/trace"
 	"taopt/internal/ui"
 )
@@ -124,9 +124,11 @@ func DefaultConfig(mode Mode) Config {
 	}
 }
 
-// Env is the coordinator's handle on the testing cloud. The harness
-// implements it; the coordinator never touches devices, tools or the app
-// directly.
+// Env is the coordinator's handle on the testing cloud's allocation
+// primitives. The harness implements it; the coordinator never touches
+// devices, tools or the app directly, and everything finer-grained than a
+// lease — entrypoint blocks, lifecycle commands — travels as bus commands
+// through the Sender given to NewCoordinator.
 type Env interface {
 	// Now returns the current virtual time.
 	Now() sim.Duration
@@ -142,8 +144,6 @@ type Env interface {
 	// Deallocate releases a running instance. Errors (unknown ID, double
 	// release) are surfaced for accounting, never fatal.
 	Deallocate(id int) error
-	// Blocks returns the mutable entrypoint block set of an instance.
-	Blocks(id int) *toller.BlockSet
 }
 
 // edgeObs records one observed way into a screen.
@@ -159,6 +159,7 @@ type edgeObs struct {
 type Coordinator struct {
 	cfg      Config
 	env      Env
+	port     bus.Sender
 	analyzer *Analyzer
 
 	// incoming[to] lists observed edges into screen `to`.
@@ -231,9 +232,9 @@ type Stats struct {
 	DroppedOrphans int // orphans left permanently blocked (DropOrphans)
 }
 
-// NewCoordinator wires a coordinator to its environment. Call Start before
-// feeding events.
-func NewCoordinator(cfg Config, env Env, book *trace.Book) *Coordinator {
+// NewCoordinator wires a coordinator to its environment and the transport
+// it emits block commands on. Call Start before feeding events.
+func NewCoordinator(cfg Config, env Env, port bus.Sender, book *trace.Book) *Coordinator {
 	if cfg.LMin == 0 {
 		cfg.LMin = LMinShort
 		if cfg.Mode == ResourceConstrained {
@@ -268,6 +269,7 @@ func NewCoordinator(cfg Config, env Env, book *trace.Book) *Coordinator {
 	return &Coordinator{
 		cfg:           cfg,
 		env:           env,
+		port:          port,
 		analyzer:      NewAnalyzer(cfg.Analyzer, book),
 		incoming:      make(map[ui.Signature][]edgeObs),
 		launchScreens: make(map[ui.Signature]bool),
@@ -381,7 +383,7 @@ func (c *Coordinator) learnEdge(ev trace.Event) {
 		}
 		for _, id := range c.env.ActiveInstances() {
 			if id != sub.Owner {
-				c.env.Blocks(id).BlockWidget(ev.From, ev.Action.Widget)
+				c.blockWidget(id, ev.From, ev.Action.Widget)
 			}
 		}
 	}
@@ -732,16 +734,26 @@ func (c *Coordinator) accept(cand Candidate, members []ui.Signature) {
 	}
 }
 
+// blockWidget and blockMember emit one entrypoint-block command each on the
+// transport. Replies are ignored: blocking a just-departed instance is a
+// no-op at the executor, exactly as installing blocks on a throwaway set was.
+func (c *Coordinator) blockWidget(id int, from ui.Signature, w ui.WidgetPath) {
+	c.port.Send(bus.Command{Kind: bus.BlockWidget, Instance: id, Screen: from, Widget: w})
+}
+
+func (c *Coordinator) blockMember(id int, m ui.Signature) {
+	c.port.Send(bus.Command{Kind: bus.BlockMember, Instance: id, Screen: m})
+}
+
 // blockSubspace installs sub's blocks on one instance: every observed edge
 // from outside into the subspace is disabled, and members are marked so the
 // driver steers the tool out if it slips in through an unobserved edge.
 func (c *Coordinator) blockSubspace(id int, sub *Subspace) {
-	blocks := c.env.Blocks(id)
 	for m := range sub.Members {
-		blocks.BlockMember(m)
+		c.blockMember(id, m)
 		for _, e := range c.incoming[m] {
 			if !sub.Members[e.from] {
-				blocks.BlockWidget(e.from, e.widget)
+				c.blockWidget(id, e.from, e.widget)
 			}
 		}
 	}

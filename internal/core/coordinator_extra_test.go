@@ -13,7 +13,7 @@ func TestConfirmPendingTTLExpiry(t *testing.T) {
 	env := newFakeEnv(5)
 	book, sigs := testBook(30)
 	cfg := shortCfg()
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 
 	// Instance 0 reports region 10; then nothing matching for > TTL;
@@ -67,7 +67,7 @@ func TestDropOrphansKeepsSubspaceBlocked(t *testing.T) {
 	cfg := shortCfg()
 	cfg.DropOrphans = true
 	cfg.Stagnation = 150 * sim.Duration(1e9)
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 
 	driveBoth(c, env, 0, 1, sigs, roamThenSettle(10, 120))
@@ -110,7 +110,7 @@ func TestRededicationTransfersOwnership(t *testing.T) {
 	book, sigs := testBook(30)
 	cfg := shortCfg()
 	cfg.Stagnation = 150 * sim.Duration(1e9)
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 
 	driveBoth(c, env, 0, 1, sigs, roamThenSettle(10, 120))
@@ -142,7 +142,7 @@ func TestCoordinatorAllocateFailsGracefully(t *testing.T) {
 	env := newFakeEnv(1)
 	env.allocFail = true
 	book, _ := testBook(1)
-	c := NewCoordinator(DefaultConfig(DurationConstrained), env, book)
+	c := NewCoordinator(DefaultConfig(DurationConstrained), env, env, book)
 	c.Start() // must not panic with zero allocatable devices
 	if len(env.active) != 0 {
 		t.Fatal("allocated despite failure")

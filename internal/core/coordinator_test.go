@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"taopt/internal/bus"
 	"taopt/internal/device"
 	"taopt/internal/sim"
 	"taopt/internal/toller"
@@ -82,6 +83,18 @@ func (e *fakeEnv) Blocks(id int) *toller.BlockSet {
 	return b
 }
 
+// Send lets the fakeEnv double as the coordinator's bus.Sender: block
+// commands are applied to the per-instance block sets directly.
+func (e *fakeEnv) Send(cmd bus.Command) bus.Reply {
+	switch cmd.Kind {
+	case bus.BlockWidget:
+		e.Blocks(cmd.Instance).BlockWidget(cmd.Screen, cmd.Widget)
+	case bus.BlockMember:
+		e.Blocks(cmd.Instance).BlockMember(cmd.Screen)
+	}
+	return bus.Reply{Instance: cmd.Instance}
+}
+
 // testBook registers synthetic screens so the analyzer's similarity matcher
 // has exemplars. Screens are made structurally distinct per token.
 func testBook(tokens int) (*trace.Book, []ui.Signature) {
@@ -139,14 +152,14 @@ func shortCfg() Config {
 func TestCoordinatorStartAllocates(t *testing.T) {
 	env := newFakeEnv(5)
 	book, _ := testBook(1)
-	c := NewCoordinator(DefaultConfig(DurationConstrained), env, book)
+	c := NewCoordinator(DefaultConfig(DurationConstrained), env, env, book)
 	c.Start()
 	if len(env.active) != 5 {
 		t.Fatalf("duration mode started %d instances, want 5", len(env.active))
 	}
 
 	env2 := newFakeEnv(5)
-	c2 := NewCoordinator(DefaultConfig(ResourceConstrained), env2, book)
+	c2 := NewCoordinator(DefaultConfig(ResourceConstrained), env2, env2, book)
 	c2.Start()
 	if len(env2.active) != 1 {
 		t.Fatalf("resource mode started %d instances, want 1", len(env2.active))
@@ -174,7 +187,7 @@ func TestCoordinatorAcceptsConfirmedSubspace(t *testing.T) {
 	env := newFakeEnv(5)
 	book, sigs := testBook(30)
 	cfg := shortCfg()
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 
 	// Instances 0 and 1 both settle in region 10..14 after a quick roam.
@@ -210,7 +223,7 @@ func TestCoordinatorSingleInstanceNeedsLLong(t *testing.T) {
 	env := newFakeEnv(5)
 	book, sigs := testBook(30)
 	cfg := shortCfg()
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 
 	// One instance settles for just over a minute: not accepted (needs a
@@ -231,7 +244,7 @@ func TestCoordinatorSingleInstanceNeedsLLong(t *testing.T) {
 func TestCoordinatorLaunchScreenNeverBlocked(t *testing.T) {
 	env := newFakeEnv(5)
 	book, sigs := testBook(30)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 	// Region walks that pass through the hub (token 0) repeatedly.
 	var walk []int
@@ -260,7 +273,7 @@ func TestCoordinatorStagnationReapsAndReplaces(t *testing.T) {
 	book, sigs := testBook(10)
 	cfg := shortCfg()
 	cfg.Stagnation = 60 * sim.Duration(1e9)
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 	if len(env.active) != 2 {
 		t.Fatal("start")
@@ -287,7 +300,7 @@ func TestCoordinatorStagnationReapsAndReplaces(t *testing.T) {
 func TestCoordinatorBlocksLearnedEdges(t *testing.T) {
 	env := newFakeEnv(5)
 	book, sigs := testBook(30)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 
 	walk := roamThenSettle(10, 120)
@@ -325,7 +338,7 @@ func TestCoordinatorBlocksLearnedEdges(t *testing.T) {
 func TestCoordinatorOwnerExtension(t *testing.T) {
 	env := newFakeEnv(5)
 	book, sigs := testBook(40)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 
 	// Expand the coordinator's known-screen denominator first so later
@@ -365,7 +378,7 @@ func TestCoordinatorResourceModeAllocatesOnAcceptance(t *testing.T) {
 	cfg.WarmUp = 30 * sim.Duration(1e9)
 	cfg.Stagnation = 3600 * sim.Duration(1e9)
 	cfg.Analyzer.AnalyzeEvery = 10
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 	if len(env.active) != 1 {
 		t.Fatal("resource mode must start with one instance")
@@ -392,7 +405,7 @@ func TestCoordinatorDeterministicAcceptance(t *testing.T) {
 	run := func() int {
 		env := newFakeEnv(5)
 		book, sigs := testBook(30)
-		c := NewCoordinator(shortCfg(), env, book)
+		c := NewCoordinator(shortCfg(), env, env, book)
 		c.Start()
 		walk := roamThenSettle(10, 120)
 		drive(c, env, 0, sigs, walk, 1)

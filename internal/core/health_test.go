@@ -26,7 +26,7 @@ func acceptFor(c *Coordinator, owner int, sigs []ui.Signature, tokens ...int) *S
 func TestDeathOrphanRededication(t *testing.T) {
 	env := newFakeEnv(3)
 	book, sigs := testBook(30)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 	if len(env.active) != 3 {
 		t.Fatal("setup: start")
@@ -77,7 +77,7 @@ func TestDeathDropOrphansKeepsBlocked(t *testing.T) {
 	book, sigs := testBook(30)
 	cfg := shortCfg()
 	cfg.DropOrphans = true
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 	sub := acceptFor(c, 0, sigs, 10, 11, 12)
 
@@ -106,7 +106,7 @@ func TestOldestOrphanRededicatedFirst(t *testing.T) {
 	// Disable hang detection: this env feeds no events, and a surviving
 	// instance being declared hung would shuffle the IDs under test.
 	cfg.Heartbeat = -1
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 	subA := acceptFor(c, 0, sigs, 10, 11, 12)
 	subB := acceptFor(c, 1, sigs, 20, 21, 22)
@@ -153,7 +153,7 @@ func TestOldestOrphanRededicatedFirst(t *testing.T) {
 func TestHangDetection(t *testing.T) {
 	env := newFakeEnv(2)
 	book, sigs := testBook(10)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 
 	// Instance 1 keeps producing events; instance 0 goes silent. Ten
@@ -193,7 +193,7 @@ func TestHeartbeatDisabled(t *testing.T) {
 	book, _ := testBook(10)
 	cfg := shortCfg()
 	cfg.Heartbeat = -1
-	c := NewCoordinator(cfg, env, book)
+	c := NewCoordinator(cfg, env, env, book)
 	c.Start()
 	env.now += 60 * 60 * second
 	c.Tick(env.now)
@@ -233,7 +233,7 @@ func TestAllocBackoffTiming(t *testing.T) {
 			cfg := shortCfg()
 			cfg.AllocRetry = tc.retry
 			cfg.AllocRetryMax = tc.max
-			c := NewCoordinator(cfg, env, book)
+			c := NewCoordinator(cfg, env, env, book)
 			c.Start()
 
 			horizon := tc.wantAttempts[len(tc.wantAttempts)-1]
@@ -274,7 +274,7 @@ func TestPermanentAllocErrorDisables(t *testing.T) {
 	env := newFakeEnv(2)
 	env.allocFail = true
 	book, _ := testBook(1)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 	attempts := len(env.attempts)
 	if attempts == 0 {
@@ -295,7 +295,7 @@ func TestPermanentAllocErrorDisables(t *testing.T) {
 func TestReleaseErrorSurfaced(t *testing.T) {
 	env := newFakeEnv(2)
 	book, sigs := testBook(10)
-	c := NewCoordinator(shortCfg(), env, book)
+	c := NewCoordinator(shortCfg(), env, env, book)
 	c.Start()
 
 	// Instance 0 goes silent AND vanishes right before the hang check would

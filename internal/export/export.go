@@ -16,8 +16,10 @@ import (
 	"taopt/internal/ui"
 )
 
-// FormatVersion identifies the serialisation schema.
-const FormatVersion = 1
+// FormatVersion identifies the serialisation schema. Version 2 replaced the
+// fault summary with the transport block (trace delivery accounting plus
+// injected faults).
+const FormatVersion = 2
 
 // Run is the serialised form of one campaign run.
 type Run struct {
@@ -32,8 +34,9 @@ type Run struct {
 	Coverage      int   `json:"coverage"`
 	UniqueCrashes int   `json:"unique_crashes"`
 
-	// Faults summarises injected device-farm failures (chaos runs only).
-	Faults *Faults `json:"faults,omitempty"`
+	// Transport summarises the coordination transport's delivery accounting
+	// and injected device-farm failures (emitted on chaos runs only).
+	Transport *Transport `json:"transport,omitempty"`
 
 	Instances []Instance `json:"instances"`
 	Subspaces []Subspace `json:"subspaces,omitempty"`
@@ -66,15 +69,18 @@ type Event struct {
 	Enforced bool   `json:"enforced,omitempty"`
 }
 
-// Faults summarises the injected faults of a chaos run. Absent on
-// fault-free runs, so FormatVersion is unchanged (the addition is purely
-// additive).
-type Faults struct {
+// Transport summarises a chaos run's coordination transport: trace events
+// published and delivered, commands carried, and the faults the decorated
+// transport injected. Absent on fault-free runs.
+type Transport struct {
+	Events          int `json:"events"`
+	Delivered       int `json:"delivered"`
+	Commands        int `json:"commands"`
+	Dropped         int `json:"dropped"`
+	Delayed         int `json:"delayed"`
 	Deaths          int `json:"deaths"`
 	Hangs           int `json:"hangs"`
 	AllocFailures   int `json:"alloc_failures"`
-	TraceDrops      int `json:"trace_drops"`
-	TraceDelays     int `json:"trace_delays"`
 	FailedInstances int `json:"failed_instances"`
 	OrphansPending  int `json:"orphans_pending"`
 }
@@ -124,13 +130,16 @@ func FromResult(res *harness.RunResult) *Run {
 		Coverage:      res.Union.Count(),
 		UniqueCrashes: res.UniqueCrashes,
 	}
-	if st := res.FaultStats; st != nil {
-		out.Faults = &Faults{
+	if st := res.Transport; res.Config.Faults != nil && res.Config.Faults.Enabled() {
+		out.Transport = &Transport{
+			Events:          st.Published,
+			Delivered:       st.Delivered,
+			Commands:        st.Commands,
+			Dropped:         st.Dropped,
+			Delayed:         st.Delayed,
 			Deaths:          st.Deaths,
 			Hangs:           st.Hangs,
 			AllocFailures:   st.AllocFailures,
-			TraceDrops:      st.TraceDrops,
-			TraceDelays:     st.TraceDelays,
 			FailedInstances: res.FailedInstances,
 			OrphansPending:  res.OrphansPending,
 		}

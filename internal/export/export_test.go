@@ -151,14 +151,14 @@ func TestChaosRunExportsFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Faults == nil {
-		t.Fatal("chaos run exported without a faults summary")
+	if back.Transport == nil {
+		t.Fatal("chaos run exported without a transport summary")
 	}
-	if got := back.Faults.Deaths + back.Faults.Hangs; got != res.FaultStats.Deaths+res.FaultStats.Hangs {
-		t.Fatalf("fault counts lost in round trip: %+v vs %+v", *back.Faults, *res.FaultStats)
+	if got := back.Transport.Deaths + back.Transport.Hangs; got != res.Transport.Deaths+res.Transport.Hangs {
+		t.Fatalf("fault counts lost in round trip: %+v vs %+v", *back.Transport, res.Transport)
 	}
-	if back.Faults.FailedInstances != res.FailedInstances {
-		t.Fatalf("failed-instance count %d, want %d", back.Faults.FailedInstances, res.FailedInstances)
+	if back.Transport.FailedInstances != res.FailedInstances {
+		t.Fatalf("failed-instance count %d, want %d", back.Transport.FailedInstances, res.FailedInstances)
 	}
 	failed := 0
 	for _, inst := range back.Instances {
@@ -179,7 +179,7 @@ func TestChaosRunExportsFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if clean.Faults != nil {
-		t.Fatal("fault-free run exported a faults summary")
+	if clean.Transport != nil {
+		t.Fatal("fault-free run exported a transport summary")
 	}
 }

@@ -164,6 +164,16 @@ func NewPlan(cfg Config, rng *sim.RNG) *Plan {
 	}
 }
 
+// PlanFor derives a plan from an optional config: a nil or disabled config
+// yields a nil plan (every Plan method is nil-safe), so callers need no
+// fault-enabled branches of their own.
+func PlanFor(cfg *Config, rng *sim.RNG) *Plan {
+	if cfg == nil || !cfg.Enabled() {
+		return nil
+	}
+	return NewPlan(*cfg, rng)
+}
+
 // Config returns the plan's configuration (zero for a nil plan).
 func (p *Plan) Config() Config {
 	if p == nil {

@@ -9,6 +9,7 @@ import (
 	"taopt/internal/coverage"
 	"taopt/internal/faults"
 	"taopt/internal/graph"
+	"taopt/internal/harness/fleet"
 	"taopt/internal/metrics"
 	"taopt/internal/sim"
 )
@@ -78,6 +79,11 @@ type CampaignConfig struct {
 	// every run of the campaign (chaos campaigns); each cell derives its
 	// own deterministic fault plan from its cell seed.
 	Faults *faults.Config
+	// Workers bounds the goroutine pool Prefetch computes missing cells on.
+	// 0 or 1 runs serially; results are identical either way — each cell's
+	// seed derives from its key alone, and Prefetch merges in deterministic
+	// key order.
+	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -146,14 +152,27 @@ func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, er
 	if s, ok := c.cells[key]; ok {
 		return s, nil
 	}
-	aut, err := apps.Load(appName)
+	s, err := c.computeCell(key)
+	if err != nil {
+		return nil, err
+	}
+	c.cells[key] = s
+	c.logProgress(s)
+	return s, nil
+}
+
+// computeCell executes one cell without touching the cache or the progress
+// writer, so fleet workers can run it concurrently: a cell is one
+// self-contained simulation whose seed derives from its key alone.
+func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
+	aut, err := apps.Load(key.App)
 	if err != nil {
 		return nil, err
 	}
 	res, err := Run(RunConfig{
 		App:       aut,
-		Tool:      tool,
-		Setting:   setting,
+		Tool:      key.Tool,
+		Setting:   key.Setting,
 		Instances: c.cfg.Instances,
 		Duration:  c.cfg.Duration,
 		Seed:      c.cellSeed(key),
@@ -162,13 +181,57 @@ func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, er
 	if err != nil {
 		return nil, err
 	}
-	s := summarize(key, res, c.cfg.Instances)
-	c.cells[key] = s
+	return summarize(key, res, c.cfg.Instances), nil
+}
+
+func (c *Campaign) logProgress(s *CellSummary) {
 	if c.cfg.Progress != nil {
 		fmt.Fprintf(c.cfg.Progress, "ran %-60s coverage=%-7d crashes=%-3d ui-overlap=%.1f\n",
-			key.String(), s.Union, s.UniqueCrashes, s.UIOccAverage)
+			s.Key.String(), s.Union, s.UniqueCrashes, s.UIOccAverage)
 	}
-	return s, nil
+}
+
+// Prefetch computes the missing cells of the (apps × tools × settings)
+// sub-grid on the campaign's worker pool and merges them into the cache. A
+// nil tools slice means the campaign's full tool list. Merging and progress
+// logging happen on the calling goroutine in deterministic key order
+// (sorted apps, then tools and settings as given), so a parallel campaign's
+// cache, summaries and progress stream are byte-identical to a serial one;
+// the first cell error is returned after the whole batch settles.
+func (c *Campaign) Prefetch(tools []string, settings ...Setting) error {
+	if tools == nil {
+		tools = c.cfg.Tools
+	}
+	var keys []CellKey
+	for _, appName := range c.Apps() {
+		for _, tool := range tools {
+			for _, setting := range settings {
+				key := CellKey{App: appName, Tool: tool, Setting: setting}
+				if _, ok := c.cells[key]; !ok {
+					keys = append(keys, key)
+				}
+			}
+		}
+	}
+	workers := c.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	results := fleet.Map(workers, len(keys), func(i int) (*CellSummary, error) {
+		return c.computeCell(keys[i])
+	})
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		c.cells[r.Value.Key] = r.Value
+		c.logProgress(r.Value)
+	}
+	return firstErr
 }
 
 // summarize reduces a RunResult to the digest the renderers need, computing
@@ -190,9 +253,7 @@ func summarize(key CellKey, res *RunResult, instances int) *CellSummary {
 	}
 	s.FailedInstances = res.FailedInstances
 	s.OrphansPending = res.OrphansPending
-	if res.FaultStats != nil {
-		s.FaultsInjected = res.FaultStats.Total()
-	}
+	s.FaultsInjected = res.Transport.Injected()
 	if key.Setting == BaselineParallel {
 		s.OfflineSubspaces, s.OverlapHist = subspaceOverlap(res, instances)
 	}

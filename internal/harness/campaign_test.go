@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"testing"
 
 	"taopt/internal/app"
@@ -86,6 +87,44 @@ func TestCampaignSeedChangesResults(t *testing.T) {
 	b := mustCellT(t, NewCampaign(cfg2), "Filters For Selfie", "monkey", BaselineParallel)
 	if a.Union == b.Union && a.DistinctUIs == b.DistinctUIs && a.UIOccAverage == b.UIOccAverage {
 		t.Fatal("different campaign seeds produced identical cells")
+	}
+}
+
+func TestFleetCampaignParallelMatchesSerial(t *testing.T) {
+	build := func(workers int) (*Campaign, *bytes.Buffer) {
+		cfg := tinyConfig()
+		cfg.Apps = []string{"Filters For Selfie", "Marvel Comics"}
+		cfg.Workers = workers
+		var progress bytes.Buffer
+		cfg.Progress = &progress
+		return NewCampaign(cfg), &progress
+	}
+	settings := []Setting{BaselineParallel, TaOPTDuration}
+
+	serial, serialLog := build(1)
+	if err := serial.Prefetch(nil, settings...); err != nil {
+		t.Fatal(err)
+	}
+	par, parLog := build(4)
+	if err := par.Prefetch(nil, settings...); err != nil {
+		t.Fatal(err)
+	}
+
+	if serialLog.String() != parLog.String() {
+		t.Fatalf("progress streams differ:\nserial:\n%s\nparallel:\n%s", serialLog, parLog)
+	}
+	for _, appName := range serial.Apps() {
+		for _, setting := range settings {
+			a := mustCellT(t, serial, appName, "monkey", setting)
+			b := mustCellT(t, par, appName, "monkey", setting)
+			if a.Union != b.Union || a.UniqueCrashes != b.UniqueCrashes ||
+				a.DistinctUIs != b.DistinctUIs || a.UIOccAverage != b.UIOccAverage ||
+				a.WallUsed != b.WallUsed || a.MachineUsed != b.MachineUsed ||
+				a.Subspaces != b.Subspaces || len(a.Timeline) != len(b.Timeline) {
+				t.Fatalf("cell %s differs between serial and parallel campaigns:\n%+v\nvs\n%+v",
+					a.Key, a, b)
+			}
+		}
 	}
 }
 

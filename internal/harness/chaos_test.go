@@ -46,8 +46,8 @@ func TestChaosAllSettingsSurvive(t *testing.T) {
 			if res.Union == nil || res.Union.Count() == 0 {
 				t.Fatal("chaos run produced no coverage at all")
 			}
-			if res.FaultStats == nil {
-				t.Fatal("chaos run reported no fault stats")
+			if res.Transport.Injected() == 0 {
+				t.Fatal("chaos run reported no injected faults")
 			}
 			var sum sim.Duration
 			for _, inst := range res.Instances {
@@ -81,8 +81,8 @@ func TestChaosDeterminism(t *testing.T) {
 	if a.FailedInstances != b.FailedInstances {
 		t.Fatalf("failed-instance counts differ: %d vs %d", a.FailedInstances, b.FailedInstances)
 	}
-	if *a.FaultStats != *b.FaultStats {
-		t.Fatalf("fault stats differ: %+v vs %+v", *a.FaultStats, *b.FaultStats)
+	if a.Transport != b.Transport {
+		t.Fatalf("transport stats differ: %+v vs %+v", a.Transport, b.Transport)
 	}
 	if len(a.Instances) != len(b.Instances) {
 		t.Fatalf("instance counts differ: %d vs %d", len(a.Instances), len(b.Instances))
@@ -149,8 +149,8 @@ func TestChaosDeathChargesPartialLease(t *testing.T) {
 	if want := sim.Duration(DefaultInstances) * 2 * chaosMinute; res.MachineUsed != want {
 		t.Fatalf("MachineUsed = %v, want %v", res.MachineUsed, want)
 	}
-	if res.FaultStats.Deaths != DefaultInstances || res.FaultStats.Hangs != 0 {
-		t.Fatalf("fault stats %+v, want %d deaths and no hangs", *res.FaultStats, DefaultInstances)
+	if res.Transport.Deaths != DefaultInstances || res.Transport.Hangs != 0 {
+		t.Fatalf("transport stats %+v, want %d deaths and no hangs", res.Transport, DefaultInstances)
 	}
 }
 

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFleetMapOrdersResults(t *testing.T) {
+	got := Map(4, 100, func(i int) (int, error) { return i * i, nil })
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, r := range got {
+		if r.Err != nil || r.Value != i*i {
+			t.Fatalf("result %d = (%d, %v), want (%d, nil)", i, r.Value, r.Err, i*i)
+		}
+	}
+}
+
+func TestFleetMapRunsEveryJobOnce(t *testing.T) {
+	var calls atomic.Int64
+	seen := make([]atomic.Int64, 50)
+	Map(8, 50, func(i int) (struct{}, error) {
+		calls.Add(1)
+		seen[i].Add(1)
+		return struct{}{}, nil
+	})
+	if calls.Load() != 50 {
+		t.Fatalf("calls = %d, want 50", calls.Load())
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("job %d ran %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestFleetMapKeepsErrorsAndValuesApart(t *testing.T) {
+	boom := errors.New("boom")
+	got := Map(3, 10, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	for i, r := range got {
+		if i%2 == 1 && !errors.Is(r.Err, boom) {
+			t.Fatalf("job %d err = %v, want boom", i, r.Err)
+		}
+		if i%2 == 0 && (r.Err != nil || r.Value != i) {
+			t.Fatalf("job %d = (%d, %v), want (%d, nil)", i, r.Value, r.Err, i)
+		}
+	}
+}
+
+func TestFleetMapRecoversPanics(t *testing.T) {
+	got := Map(2, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if got[2].Err == nil {
+		t.Fatal("panicking job returned no error")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if got[i].Err != nil {
+			t.Fatalf("healthy job %d got err %v", i, got[i].Err)
+		}
+	}
+}
+
+func TestFleetMapDegenerateSizes(t *testing.T) {
+	if got := Map(4, 0, func(int) (int, error) { return 0, nil }); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	// workers <= 0 resolves to GOMAXPROCS; workers > n is clamped.
+	got := Map(0, 3, func(i int) (int, error) { return i, nil })
+	for i, r := range got {
+		if r.Value != i {
+			t.Fatalf("result %d = %d", i, r.Value)
+		}
+	}
+	got = Map(64, 2, func(i int) (int, error) { return i + 1, nil })
+	if got[0].Value != 1 || got[1].Value != 2 {
+		t.Fatalf("clamped pool results wrong: %v", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"taopt/internal/app"
+	"taopt/internal/bus"
 	"taopt/internal/core"
 	"taopt/internal/coverage"
 	"taopt/internal/crash"
@@ -148,8 +149,10 @@ type RunResult struct {
 	Book *trace.Book
 	// FailedInstances counts leases terminated by injected faults.
 	FailedInstances int
-	// FaultStats summarises the injected faults (nil on fault-free runs).
-	FaultStats *faults.Stats
+	// Transport is the run's coordination-transport accounting: trace events
+	// published and delivered, commands carried, and (on chaos runs) the
+	// faults the decorated transport injected.
+	Transport bus.Stats
 	// OrphansPending is how many accepted subspaces still awaited a
 	// replacement owner when the run ended (TaOPT settings only; always 0
 	// unless DropOrphans or the run ends mid-outage).
@@ -209,12 +212,16 @@ type actor struct {
 }
 
 type runner struct {
-	cfg    RunConfig
-	sched  *sim.Scheduler
-	farm   *device.Farm
-	book   *trace.Book
-	rng    *sim.RNG
-	faults *faults.Plan // nil on fault-free runs
+	cfg   RunConfig
+	sched *sim.Scheduler
+	farm  *device.Farm
+	book  *trace.Book
+	rng   *sim.RNG
+	// port is the coordination transport: drivers publish trace events into
+	// it, the strategy subscribes, and every lifecycle/block command travels
+	// through it. On chaos runs it is decorated with the fault plan
+	// (bus.WithFaults); the runner itself has no fault-injection branches.
+	port bus.Transport
 
 	strategy strategy
 	coord    *core.Coordinator // non-nil for TaOPT settings
@@ -258,10 +265,18 @@ func newRunner(cfg RunConfig) *runner {
 		r.wallDeadline = cfg.MachineBudget
 	}
 	r.farm = device.NewFarm(cfg.App, r.rng.Fork(1000003), maxDevices, autoLogin)
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		r.faults = faults.NewPlan(*cfg.Faults, r.rng.Fork(7000003))
-	}
+	// The transport: synchronous in-process delivery, decorated with the
+	// fault plan on chaos runs (a nil plan leaves it undecorated). The runner
+	// binds itself as the executor endpoint before the strategy is built, so
+	// TaOPT's coordinator can emit commands from its first event.
+	r.port = bus.WithFaults(bus.NewInline(), faults.PlanFor(cfg.Faults, r.rng.Fork(7000003)), r.sched)
+	r.port.Bind(r)
 	r.strategy = newStrategy(r)
+	r.port.Subscribe(func(ev trace.Event) {
+		if !r.ended {
+			r.strategy.onEvent(ev)
+		}
+	})
 	return r
 }
 
@@ -283,25 +298,67 @@ func (r *runner) ActiveInstances() []int {
 	return out
 }
 
-// Allocate implements core.Env: it boots an instance, attaches the Toller
-// driver and the tool, and schedules its first step. A wound-down run
-// returns a permanent error; a busy (or outage-stricken) farm returns an
-// error wrapping device.ErrFarmBusy, which the coordinator retries with
-// backoff.
+// Allocate implements core.Env: the request travels as a bus command to the
+// executor below (possibly through the fault decorator's outage model). A
+// wound-down run returns a permanent error; a busy (or outage-stricken) farm
+// returns an error wrapping device.ErrFarmBusy, which the coordinator
+// retries with backoff. The lifecycle guards stay on this client side so
+// every caller — coordinator and baseline strategies alike — sees them
+// before the transport is consulted.
 func (r *runner) Allocate() (int, error) {
 	if r.ended {
 		return 0, fmt.Errorf("harness: run ended")
 	}
-	now := r.sched.Now()
-	if r.wallDeadline != 0 && now >= r.wallDeadline {
+	if r.wallDeadline != 0 && r.sched.Now() >= r.wallDeadline {
 		return 0, fmt.Errorf("harness: wall deadline reached")
 	}
-	if r.faults.AllocationFails(now) {
-		return 0, fmt.Errorf("harness: injected allocation outage: %w", device.ErrFarmBusy)
+	rep := r.port.Send(bus.Command{Kind: bus.Allocate})
+	return rep.Instance, rep.Err
+}
+
+// Deallocate implements core.Env: the release travels as a bus command.
+// Unknown IDs and double releases are errors the coordinator records.
+func (r *runner) Deallocate(id int) error {
+	return r.port.Send(bus.Command{Kind: bus.Deallocate, Instance: id}).Err
+}
+
+// --- bus.Executor implementation -----------------------------------------
+
+// Exec implements bus.Executor: the runner is the transport's executor
+// endpoint, performing commands against the farm and the Toller drivers.
+func (r *runner) Exec(cmd bus.Command) bus.Reply {
+	switch cmd.Kind {
+	case bus.Allocate:
+		return r.execAllocate()
+	case bus.Deallocate:
+		return bus.Reply{Instance: cmd.Instance, Err: r.execDeallocate(cmd.Instance)}
+	case bus.BlockWidget:
+		r.blocks(cmd.Instance).BlockWidget(cmd.Screen, cmd.Widget)
+		return bus.Reply{Instance: cmd.Instance}
+	case bus.BlockMember:
+		r.blocks(cmd.Instance).BlockMember(cmd.Screen)
+		return bus.Reply{Instance: cmd.Instance}
+	case bus.Kill:
+		r.killInstance(cmd.Instance)
+		return bus.Reply{Instance: cmd.Instance}
+	case bus.Hang:
+		r.hangInstance(cmd.Instance)
+		return bus.Reply{Instance: cmd.Instance}
+	default:
+		return bus.Reply{Err: fmt.Errorf("harness: unknown command %s", cmd.Kind)}
 	}
+}
+
+// execAllocate boots an instance, attaches the Toller driver and the tool,
+// and schedules its first step.
+func (r *runner) execAllocate() bus.Reply {
+	if r.ended {
+		return bus.Reply{Err: fmt.Errorf("harness: run ended")}
+	}
+	now := r.sched.Now()
 	al, err := r.farm.Allocate(now)
 	if err != nil {
-		return 0, err
+		return bus.Reply{Err: err}
 	}
 	id := al.Emu.ID
 	driver := toller.NewDriver(al.Emu, r.book, now)
@@ -312,27 +369,16 @@ func (r *runner) Allocate() (int, error) {
 		tool:   tools.MustNew(r.cfg.Tool, r.rng.Fork(int64(id)).Int63()),
 	}
 	driver.Subscribe(toller.ListenerFunc(r.recordEvent))
-	driver.Subscribe(toller.ListenerFunc(r.deliverToStrategy))
+	driver.Subscribe(toller.ListenerFunc(r.port.Publish))
 	r.actors[id] = a
 	r.order = append(r.order, id)
 	r.scheduleStep(a, 0)
-	if fate, fated := r.faults.InstanceFate(id); fated {
-		kind := fate.Kind
-		r.sched.After(fate.After, sim.EventFunc(func(*sim.Scheduler) {
-			switch kind {
-			case faults.Death:
-				r.killInstance(id)
-			case faults.Hang:
-				r.hangInstance(id)
-			}
-		}))
-	}
-	return id, nil
+	return bus.Reply{Instance: id}
 }
 
-// Deallocate implements core.Env. Unknown IDs and double releases are
-// errors the coordinator records; hung instances end as failed leases.
-func (r *runner) Deallocate(id int) error {
+// execDeallocate releases a running instance; hung instances end as failed
+// leases.
+func (r *runner) execDeallocate(id int) error {
 	a, ok := r.actors[id]
 	if !ok {
 		return fmt.Errorf("harness: %w: %d", device.ErrUnknownInstance, id)
@@ -350,10 +396,10 @@ func (r *runner) Deallocate(id int) error {
 	return err
 }
 
-// killInstance fires an injected death: the emulator process is gone
-// mid-run, the lease is charged machine time up to this moment, and the
-// instance silently stops stepping — the coordinator finds out through its
-// health monitor, exactly as a real farm's client would.
+// killInstance executes a Kill command (an injected death): the emulator
+// process is gone mid-run, the lease is charged machine time up to this
+// moment, and the instance silently stops stepping — the coordinator finds
+// out through its health monitor, exactly as a real farm's client would.
 func (r *runner) killInstance(id int) {
 	if r.ended {
 		return
@@ -367,8 +413,9 @@ func (r *runner) killInstance(id int) {
 	r.farm.Fail(id, r.sched.Now())
 }
 
-// hangInstance fires an injected hang: the instance stops producing trace
-// events but stays allocated and billed until released.
+// hangInstance executes a Hang command (an injected hang): the instance
+// stops producing trace events but stays allocated and billed until
+// released.
 func (r *runner) hangInstance(id int) {
 	if r.ended {
 		return
@@ -380,8 +427,8 @@ func (r *runner) hangInstance(id int) {
 	a.hung = true
 }
 
-// Blocks implements core.Env.
-func (r *runner) Blocks(id int) *toller.BlockSet {
+// blocks returns one instance's block set for command execution.
+func (r *runner) blocks(id int) *toller.BlockSet {
 	a, ok := r.actors[id]
 	if !ok {
 		// The coordinator may race a just-deallocated instance; hand it a
@@ -393,31 +440,15 @@ func (r *runner) Blocks(id int) *toller.BlockSet {
 
 // --- run loop ------------------------------------------------------------
 
+// recordEvent keeps the experiment's ground-truth measurements. It taps the
+// driver directly, before the transport: injected trace loss and delay
+// degrade coordination (the strategy subscribes through the bus), never the
+// measurements.
 func (r *runner) recordEvent(ev trace.Event) {
 	if ev.Enforced {
 		return
 	}
 	r.occurrences[ev.To]++
-}
-
-// deliverToStrategy forwards one trace event to the strategy, subject to the
-// fault plan's trace-delivery decision: events may be lost or arrive late at
-// the analyzer. Measurement recording (recordEvent) is unaffected — faults
-// degrade coordination, not the experiment's ground truth.
-func (r *runner) deliverToStrategy(ev trace.Event) {
-	drop, delay := r.faults.TraceDelivery()
-	if drop {
-		return
-	}
-	if delay > 0 {
-		r.sched.After(delay, sim.EventFunc(func(*sim.Scheduler) {
-			if !r.ended {
-				r.strategy.onEvent(ev)
-			}
-		}))
-		return
-	}
-	r.strategy.onEvent(ev)
 }
 
 func (r *runner) scheduleStep(a *actor, after sim.Duration) {
@@ -552,10 +583,7 @@ func (r *runner) result() *RunResult {
 		})
 	}
 	res.FailedInstances = r.farm.FailedCount()
-	if r.faults != nil {
-		st := r.faults.Stats()
-		res.FaultStats = &st
-	}
+	res.Transport = r.port.Stats()
 	if len(res.Instances) > 0 {
 		res.Union = coverage.UnionOf(res.InstanceSets())
 		logs := make([]*crash.Log, len(res.Instances))

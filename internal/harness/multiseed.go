@@ -98,6 +98,11 @@ func (ms *MultiSeed) Aggregate(tool string, setting Setting) (Delta, error) {
 
 // Render prints the aggregate table for the given settings.
 func (ms *MultiSeed) Render(w io.Writer, settings []Setting) error {
+	for _, c := range ms.campaigns {
+		if err := c.Prefetch(nil, append([]Setting{BaselineParallel}, settings...)...); err != nil {
+			return err
+		}
+	}
 	cfg := ms.campaigns[0].Config()
 	fmt.Fprintf(w, "\nMulti-seed aggregates: %d seeds × %d apps\n", ms.Seeds(), len(cfg.Apps))
 	fmt.Fprintf(w, "%-10s%-18s%12s%12s%12s%12s%12s\n",

@@ -101,7 +101,7 @@ func (s *pats) dispatch() {
 		for _, sig := range s.assigned[slave] {
 			tasks[sig] = true
 		}
-		blocks := s.r.Blocks(slave)
+		blocks := s.r.blocks(slave)
 		for sig := range s.seen {
 			if !tasks[sig] {
 				blocks.BlockMember(sig)

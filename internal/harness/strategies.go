@@ -92,7 +92,7 @@ func (s *activityPartition) start() {
 		if r.cfg.App.LoginRequired {
 			allowed = append(allowed, r.cfg.App.Screen(r.cfg.App.Login).Activity)
 		}
-		r.Blocks(id).RestrictActivities(allowed)
+		r.blocks(id).RestrictActivities(allowed)
 	}
 }
 
@@ -111,7 +111,7 @@ func newTaOPT(r *runner, mode core.Mode) *taopt {
 		cfg = *r.cfg.CoreConfig
 		cfg.Mode = mode
 	}
-	coord := core.NewCoordinator(cfg, r, r.book)
+	coord := core.NewCoordinator(cfg, r, r.port, r.book)
 	r.coord = coord
 	return &taopt{coord: coord}
 }

@@ -37,6 +37,11 @@ func Chaos(w io.Writer, c *harness.Campaign) error {
 		cfg.Faults = &fc
 		campaigns[i] = harness.NewCampaign(cfg)
 	}
+	for _, cc := range campaigns {
+		if err := cc.Prefetch(nil, harness.TaOPTDuration, harness.TaOPTResource); err != nil {
+			return err
+		}
+	}
 
 	for _, setting := range []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource} {
 		fmt.Fprintf(w, "\n%s\n", setting)

@@ -49,6 +49,9 @@ func header(w io.Writer, title string) {
 // series per tool, averaged across the campaign's apps (the paper's Figure 3:
 // overlap rises over the hour; Ape highest).
 func Figure3(w io.Writer, c *harness.Campaign) error {
+	if err := c.Prefetch(nil, harness.BaselineParallel); err != nil {
+		return err
+	}
 	header(w, "Figure 3: Overlaps of methods covered by different testing instances (baseline)")
 	fmt.Fprintf(w, "%-12s", "time(s)")
 	for _, tool := range c.Tools() {
@@ -103,6 +106,9 @@ func ajsAt(tl metrics.Timeline, t sim.Duration) (float64, bool) {
 // Table1 prints the UI-subspace exploration overlap histogram aggregated
 // over all (app, tool) baseline runs.
 func Table1(w io.Writer, c *harness.Campaign) error {
+	if err := c.Prefetch(nil, harness.BaselineParallel); err != nil {
+		return err
+	}
 	header(w, "Table 1: Overlaps of UI subspace exploration (baseline)")
 	n := c.Config().Instances
 	hist := make([]int, n)
@@ -154,6 +160,9 @@ func pct(a, b int) float64 {
 // Table2 prints WCTester's method coverage under activity-based
 // parallelization vs baseline, per app (the paper's Table 2: −28.5% average).
 func Table2(w io.Writer, c *harness.Campaign) error {
+	if err := c.Prefetch([]string{"wctester"}, harness.BaselineParallel, harness.ActivityPartition); err != nil {
+		return err
+	}
 	header(w, "Table 2: Method coverage of WCTester under activity-based parallelization")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "App Name\tBaseline\tParallel\tRel. Improve.")
@@ -198,6 +207,9 @@ func Figure6(w io.Writer, c *harness.Campaign) error {
 }
 
 func savingsFigure(w io.Writer, c *harness.Campaign, duration bool) error {
+	if err := c.Prefetch(nil, harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Tool\tMode\tMean\tMedian\tP25\tP75\tMin\tMax")
 	lp := c.Config().Duration
@@ -247,6 +259,9 @@ func Table5(w io.Writer, c *harness.Campaign) error {
 // UIs) per app × tool × setting, with the paper's Δ reduction row.
 func Table6(w io.Writer, c *harness.Campaign) error {
 	header(w, "Table 6: UI overlap measured by the average # of occurrences of distinct UIs")
+	if err := c.Prefetch(nil, harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	settings := []harness.Setting{harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource}
 	fmt.Fprint(tw, "App Name")
@@ -314,6 +329,9 @@ func shortSetting(s harness.Setting) string {
 // perAppTable renders the Table 4/5 layout: baseline and both TaOPT modes
 // per tool, with per-cell Δ percentages and the average Δ footer.
 func perAppTable(w io.Writer, c *harness.Campaign, value func(*harness.CellSummary) float64, format string) error {
+	if err := c.Prefetch(nil, harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	settings := []harness.Setting{harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource}
 	fmt.Fprint(tw, "App Name")
@@ -376,6 +394,9 @@ func perAppTable(w io.Writer, c *harness.Campaign, value func(*harness.CellSumma
 // SingleLong prints the RQ4 aside: one 5-hour instance vs the parallel
 // settings, averaged over apps.
 func SingleLong(w io.Writer, c *harness.Campaign) error {
+	if err := c.Prefetch(nil, harness.SingleLong, harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource); err != nil {
+		return err
+	}
 	header(w, "RQ4 aside: 5-hour non-parallel runs vs parallel runs (average coverage)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Tool\tSingle 5h\tBaseline 5×1h\tTaOPT(D)\tTaOPT(R)")
@@ -413,6 +434,9 @@ func SingleLong(w io.Writer, c *harness.Campaign) error {
 // similarity between baseline and TaOPT covered-method sets, and the
 // fraction of baseline methods TaOPT misses.
 func Preservation(w io.Writer, c *harness.Campaign) error {
+	if err := c.Prefetch(nil, harness.BaselineParallel, harness.TaOPTDuration, harness.TaOPTResource); err != nil {
+		return err
+	}
 	header(w, "RQ5 aside: behaviour preservation (TaOPT vs baseline covered methods)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Tool\tMode\tJaccard\tBaseline methods missed")

@@ -84,6 +84,46 @@ func TestSchedulerFIFOAtSameInstant(t *testing.T) {
 	}
 }
 
+// TestSchedulerTieBreakIsInsertionOrder pins the seq tie-break: events due
+// at one instant fire strictly in scheduling order, even when they were
+// interleaved with events for other instants, and events an event schedules
+// for the current instant fire after everything already queued there —
+// including past-time schedules clamped to now. The whole fault-injection
+// and coordination machinery leans on this order being stable.
+func TestSchedulerTieBreakIsInsertionOrder(t *testing.T) {
+	s := NewScheduler()
+	var fired []string
+	mark := func(l string) Event { return EventFunc(func(*Scheduler) { fired = append(fired, l) }) }
+
+	// Interleave insertions across two instants; heap order must not leak.
+	s.At(20, mark("b0"))
+	s.At(10, mark("a0"))
+	s.At(20, mark("b1"))
+	s.At(10, mark("a1"))
+	s.At(20, mark("b2"))
+	s.At(10, EventFunc(func(sc *Scheduler) {
+		fired = append(fired, "a2")
+		// Scheduled mid-fire at the current instant (one directly, one via a
+		// past time clamped to now): both queue behind a3, in this order.
+		sc.At(10, mark("a4"))
+		sc.At(3, mark("a5"))
+	}))
+	s.At(10, mark("a3"))
+
+	s.Run(0)
+	want := "a0,a1,a2,a3,a4,a5,b0,b1,b2"
+	got := ""
+	for i, l := range fired {
+		if i > 0 {
+			got += ","
+		}
+		got += l
+	}
+	if got != want {
+		t.Fatalf("fire order %s, want %s", got, want)
+	}
+}
+
 func TestSchedulerDeadline(t *testing.T) {
 	s := NewScheduler()
 	fired := 0

@@ -31,6 +31,7 @@ package taopt
 import (
 	"taopt/internal/app"
 	"taopt/internal/apps"
+	"taopt/internal/bus"
 	"taopt/internal/core"
 	"taopt/internal/coverage"
 	"taopt/internal/crash"
@@ -77,8 +78,13 @@ type (
 	// (chaos campaigns); pass one via RunConfig.Faults or
 	// CampaignConfig.Faults.
 	FaultConfig = faults.Config
-	// FaultStats counts the faults a chaos run injected.
+	// FaultStats counts the faults a chaos fault plan drew; runs report the
+	// transport-level view instead (see TransportStats).
 	FaultStats = faults.Stats
+	// TransportStats is a run's coordination-transport accounting: trace
+	// events published and delivered, commands carried, and injected faults
+	// (RunResult.Transport).
+	TransportStats = bus.Stats
 	// Duration is virtual time.
 	Duration = sim.Duration
 	// ScreenSignature identifies an abstract UI screen.
