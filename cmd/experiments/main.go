@@ -23,7 +23,9 @@ import (
 	"strings"
 
 	"taopt/internal/apps"
+	"taopt/internal/cli"
 	"taopt/internal/core"
+	"taopt/internal/export"
 	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/report"
@@ -125,12 +127,26 @@ func main() {
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		faultRate = flag.Float64("faults", 0, "instance-failure rate for fault injection (chaos derives its own 0/5/20% grid)")
 		workers   = flag.Int("workers", 1, "campaign cells computed in parallel (0 = GOMAXPROCS); results are identical to -workers=1")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of one telemetry-enabled TaOPT run (first app × first tool) to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+
+	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	fn, ok := experiments[*exp]
 	if !ok && *exp != "grid" {
@@ -158,6 +174,24 @@ func main() {
 		cfg.Progress = os.Stderr
 	}
 
+	if *traceOut != "" {
+		if err := writeChromeTrace(cfg, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		// When -exp wasn't given explicitly, the trace is the deliverable —
+		// don't drag the user through the default full grid.
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if !expSet {
+			return
+		}
+	}
+
 	if *exp == "grid" {
 		if err := gridExperiment(os.Stdout, cfg, *seeds); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -171,6 +205,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	if *workers > 1 {
+		// Pool accounting goes to stderr with the progress lines: stdout must
+		// stay byte-identical to a serial run.
+		st := c.FleetStats()
+		fmt.Fprintf(os.Stderr, "fleet: %d cells computed, %d cache hits, %d workers, jobs per worker %v\n",
+			st.Computed, st.CacheHits, st.Workers, st.JobsPerWorker)
+	}
+}
+
+// writeChromeTrace runs one telemetry-enabled TaOPT duration-constrained
+// cell — the campaign's first app and tool — and writes its Perfetto-loadable
+// trace-event JSON to path.
+func writeChromeTrace(cfg harness.CampaignConfig, path string) error {
+	appName := apps.Names()[0]
+	if len(cfg.Apps) > 0 {
+		appName = cfg.Apps[0]
+	}
+	tool := "monkey"
+	if len(cfg.Tools) > 0 {
+		tool = cfg.Tools[0]
+	}
+	aut, err := apps.Load(appName)
+	if err != nil {
+		return err
+	}
+	res, err := harness.Run(harness.RunConfig{
+		App:       aut,
+		Tool:      tool,
+		Setting:   harness.TaOPTDuration,
+		Instances: cfg.Instances,
+		Duration:  cfg.Duration,
+		Seed:      cfg.Seed,
+		Faults:    cfg.Faults,
+		Telemetry: true,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := export.ChromeTrace(res)
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d events for %s/%s to %s\n", tr.Len(), appName, tool, path)
+	return nil
 }
 
 func splitList(s string) []string {

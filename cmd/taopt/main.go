@@ -25,6 +25,7 @@ import (
 	"taopt/internal/export"
 	"taopt/internal/faults"
 	"taopt/internal/harness"
+	"taopt/internal/report"
 	"taopt/internal/sim"
 	"taopt/internal/tools"
 	"taopt/internal/ui"
@@ -42,10 +43,25 @@ func main() {
 		stagMin   = flag.Float64("stagnation", 0, "override stagnation window in minutes (0 = paper default)")
 		faultRate = flag.Float64("faults", 0, "inject device-farm failures at this instance-failure rate (e.g. 0.2)")
 		exportTo  = flag.String("export", "", "write the full run (traces, crashes, subspaces) as JSON to this file")
+		telemetry = flag.Bool("telemetry", false, "collect the coordinator's decision log and run metrics; prints a digest and adds the export's telemetry block")
+		decisions = flag.String("decisions", "", "write the decision log as JSONL to this file (implies -telemetry)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file (implies -telemetry)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		list      = flag.Bool("list", false, "list evaluation apps and exit")
 		verbose   = flag.Bool("v", false, "print per-instance details and identified subspaces")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -87,6 +103,7 @@ func main() {
 		Duration:      sim.Duration(*duration) * sim.Duration(60e9),
 		MachineBudget: sim.Duration(*budget) * sim.Duration(60e9),
 		Seed:          *seed,
+		Telemetry:     *telemetry || *decisions != "" || *traceOut != "",
 	}
 	if *faultRate > 0 {
 		fc := faults.DefaultConfig(*faultRate)
@@ -119,6 +136,33 @@ func main() {
 		}
 		fmt.Printf("exported:       %s\n", *exportTo)
 	}
+	if *decisions != "" {
+		f, err := os.Create(*decisions)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := res.Telemetry.DecisionLog().WriteJSONL(f); err != nil {
+			fatalf("writing decision log: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("decision log:   %s (%d entries)\n", *decisions, res.Telemetry.DecisionLog().Len())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr := export.ChromeTrace(res)
+		if err := tr.Write(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("chrome trace:   %s (%d events)\n", *traceOut, tr.Len())
+	}
 
 	fmt.Printf("app:            %s (%d methods, %d screens)\n", aut.Name, aut.MethodCount(), len(aut.Screens))
 	fmt.Printf("tool:           %s\n", *tool)
@@ -143,6 +187,11 @@ func main() {
 		fmt.Printf("transport:      %+v\n", res.Transport)
 		fmt.Printf("failed leases:  %d (orphaned subspaces pending: %d)\n",
 			res.FailedInstances, res.OrphansPending)
+	}
+	if *telemetry {
+		if err := report.Telemetry(os.Stdout, res); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	if *verbose {

@@ -4,11 +4,16 @@
 // exploration overlap and AJS statistics — the instrumentation behind
 // Section 3's study, usable on any recorded run.
 //
+// The decisions subcommand replays an exported run's decision log (format
+// v3, cmd/taopt -telemetry -export) and cross-checks it against the run's
+// recorded outcome and rebuilt transition graph.
+//
 // Usage:
 //
 //	taopt -app Zedge -tool ape -setting baseline -export run.json
 //	tracetool run.json
 //	tracetool -min-coupling 0.12 run.json
+//	tracetool decisions run.json
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"taopt/internal/export"
 	"taopt/internal/graph"
 	"taopt/internal/metrics"
+	"taopt/internal/ui"
 )
 
 func main() {
@@ -32,12 +38,17 @@ func main() {
 			"fold groups smaller than this into their strongest neighbour")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] <run.json>")
+
+	path := flag.Arg(0)
+	subcommand := ""
+	if flag.NArg() == 2 && flag.Arg(0) == "decisions" {
+		subcommand, path = "decisions", flag.Arg(1)
+	} else if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] [decisions] <run.json>")
 		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -45,6 +56,13 @@ func main() {
 	run, err := export.Read(f)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if subcommand == "decisions" {
+		if !checkDecisions(run) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("run:       %s / %s / %s (seed %d)\n", run.App, run.Tool, run.Setting, run.Seed)
@@ -128,6 +146,98 @@ func analyse(run *export.Run, opts graph.PartitionOptions) {
 	if n := len(run.Timeline); n > 0 && run.Timeline[n-1].AJS > 0 {
 		fmt.Printf("\nfinal AJS across instances: %.3f\n", run.Timeline[n-1].AJS)
 	}
+}
+
+// checkDecisions replays the exported decision log and cross-checks it
+// against the run's recorded outcome: timestamps must be non-decreasing
+// (virtual time never runs backwards), every referenced instance must exist,
+// each accepted subspace in the log must match an exported subspace (same
+// entry, no shrinking member count — later merges only grow it), and every
+// accepted entry screen must be a vertex of the transition graph rebuilt
+// from the exported traces. Returns false (after printing each mismatch)
+// when any check fails.
+func checkDecisions(run *export.Run) bool {
+	if run.Telemetry == nil {
+		fatalf("run carries no telemetry block (re-export with taopt -telemetry -export)")
+	}
+	decisions := run.Telemetry.Decisions
+	fmt.Printf("run:       %s / %s / %s (seed %d)\n", run.App, run.Tool, run.Setting, run.Seed)
+	fmt.Printf("decisions: %d logged\n", len(decisions))
+
+	byKind := make(map[string]int)
+	for _, d := range decisions {
+		byKind[d.Kind]++
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, k := range kinds {
+		fmt.Fprintf(tw, "  %s\t%d\n", k, byKind[k])
+	}
+	tw.Flush()
+
+	instances := make(map[int]bool, len(run.Instances))
+	for _, inst := range run.Instances {
+		instances[inst.ID] = true
+	}
+	subspaces := make(map[int]export.Subspace, len(run.Subspaces))
+	for _, sub := range run.Subspaces {
+		subspaces[sub.ID] = sub
+	}
+	b := graph.NewBuilder()
+	for _, l := range run.TraceLogs() {
+		b.AddTrace(l)
+	}
+	g := b.Graph()
+
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Printf("MISMATCH: "+format+"\n", args...)
+	}
+
+	var lastAt int64
+	accepts := 0
+	for i, d := range decisions {
+		if d.AtNS < lastAt {
+			fail("decision %d (%s) at %dns precedes its predecessor at %dns", i, d.Kind, d.AtNS, lastAt)
+		}
+		lastAt = d.AtNS
+		if d.Instance >= 0 && !instances[d.Instance] {
+			fail("decision %d (%s) references unknown instance %d", i, d.Kind, d.Instance)
+		}
+		if d.Kind != "accept" {
+			continue
+		}
+		accepts++
+		sub, found := subspaces[d.Sub]
+		if !found {
+			fail("accepted subspace %d is not in the export", d.Sub)
+			continue
+		}
+		if sub.Entry != d.Entry {
+			fail("subspace %d entry: decision log says %d, export says %d", d.Sub, d.Entry, sub.Entry)
+		}
+		if len(sub.Members) < d.Members {
+			fail("subspace %d shrank: accepted with %d members, exported with %d (merges only grow it)",
+				d.Sub, d.Members, len(sub.Members))
+		}
+		if _, inGraph := g.VertexOf(ui.Signature(d.Entry)); !inGraph {
+			fail("subspace %d entry %d is not a vertex of the rebuilt transition graph", d.Sub, d.Entry)
+		}
+	}
+	if accepts != len(run.Subspaces) {
+		fail("decision log accepts %d subspaces, export records %d", accepts, len(run.Subspaces))
+	}
+
+	if ok {
+		fmt.Printf("replay:    OK — %d accepts match %d exported subspaces, timestamps monotone, all instances known\n",
+			accepts, len(run.Subspaces))
+	}
+	return ok
 }
 
 func dominantActivity(g *graph.Graph, grp []int, activityOf map[uint64]string) string {

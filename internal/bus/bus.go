@@ -39,6 +39,9 @@ const (
 	// Hang wedges an instance (injected hang): it stops producing trace
 	// events but stays allocated and billed until released.
 	Hang
+
+	// NumCommandKinds bounds the kind space (for per-kind accounting arrays).
+	NumCommandKinds = int(Hang) + 1
 )
 
 func (k CommandKind) String() string {
@@ -97,12 +100,24 @@ type Stats struct {
 	Published int
 	Delivered int
 	Commands  int
+	// ByKind breaks Commands down per CommandKind (indexed by the kind's
+	// ordinal). An array, not a map, so Stats stays comparable — determinism
+	// tests compare whole Stats values with ==.
+	ByKind [NumCommandKinds]int
 
 	Dropped       int
 	Delayed       int
 	Deaths        int
 	Hangs         int
 	AllocFailures int
+}
+
+// KindCount returns the number of carried commands of one kind.
+func (s Stats) KindCount(k CommandKind) int {
+	if k < 0 || int(k) >= NumCommandKinds {
+		return 0
+	}
+	return s.ByKind[k]
 }
 
 // Injected totals the injected faults the transport carried (the decorated
@@ -163,6 +178,9 @@ func (t *Inline) Send(cmd Command) Reply {
 		return Reply{Err: ErrNotBound}
 	}
 	t.stats.Commands++
+	if cmd.Kind >= 0 && int(cmd.Kind) < NumCommandKinds {
+		t.stats.ByKind[cmd.Kind]++
+	}
 	return t.ex.Exec(cmd)
 }
 

@@ -69,6 +69,31 @@ func TestInlineSendRequiresBind(t *testing.T) {
 	}
 }
 
+func TestInlineCountsCommandsByKind(t *testing.T) {
+	tr := NewInline()
+	tr.Bind(&execRecorder{})
+	sends := []CommandKind{Allocate, Allocate, BlockWidget, BlockMember, BlockMember, BlockMember, Deallocate, Kill, Hang}
+	for _, k := range sends {
+		tr.Send(Command{Kind: k, Instance: 1})
+	}
+	st := tr.Stats()
+	want := [NumCommandKinds]int{Allocate: 2, Deallocate: 1, BlockWidget: 1, BlockMember: 3, Kill: 1, Hang: 1}
+	if st.ByKind != want {
+		t.Fatalf("ByKind = %v, want %v", st.ByKind, want)
+	}
+	if st.Commands != len(sends) {
+		t.Fatalf("Commands = %d, want %d", st.Commands, len(sends))
+	}
+	for k, n := range want {
+		if got := st.KindCount(CommandKind(k)); got != n {
+			t.Fatalf("KindCount(%v) = %d, want %d", CommandKind(k), got, n)
+		}
+	}
+	if st.KindCount(CommandKind(99)) != 0 {
+		t.Fatal("out-of-range KindCount must be 0")
+	}
+}
+
 func TestWithFaultsNilPlanIsPassthrough(t *testing.T) {
 	inner := NewInline()
 	if got := WithFaults(inner, nil, sim.NewScheduler()); got != Transport(inner) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"taopt/internal/obs"
 	"taopt/internal/sim"
 	"taopt/internal/trace"
 	"taopt/internal/ui"
@@ -28,7 +29,11 @@ type Candidate struct {
 	Entry    ui.Signature
 	Members  []ui.Signature
 	Score    float64
-	At       sim.Duration
+	// Overlap and Purity are the score's components at the chosen split
+	// (telemetry: the decision log records them with every candidate).
+	Overlap float64
+	Purity  float64
+	At      sim.Duration
 }
 
 // AnalyzerConfig tunes the trace analyzer.
@@ -49,6 +54,14 @@ type AnalyzerConfig struct {
 	// a genuinely settled window — no overlap with the prefix, suffix as
 	// pure as its last-l_min sample — scores well below 0.5.
 	ScoreMax float64
+	// Obs, when non-nil, receives one decision-log event per FindSpace run
+	// that produced a scored split (telemetry; nil costs nothing).
+	Obs *obs.Log
+	// Clock, when non-nil, stamps those decision-log events (the coordinator
+	// wires the sim clock in). Trace events carry their transition's
+	// *completion* time, which runs ahead of the scheduler; stamping
+	// decisions with the clock keeps the whole decision log monotone.
+	Clock func() sim.Duration
 }
 
 // DefaultAnalyzerConfig returns the thresholds used throughout the
@@ -148,14 +161,35 @@ func (a *Analyzer) Observe(ev trace.Event) (Candidate, bool) {
 	it.sinceReport = 0
 
 	res, ok := FindSpace(it.visits, a.cfg.LMin, a)
-	if !ok || res.Score > a.cfg.ScoreMax {
+	if !ok {
 		return Candidate{}, false
 	}
+	at := ev.At
+	if a.cfg.Clock != nil {
+		at = a.cfg.Clock()
+	}
+	if res.Score > a.cfg.ScoreMax {
+		a.cfg.Obs.Emit(obs.Decision{
+			AtNS: obs.At(at), Kind: obs.KindAnalyzed, Instance: ev.Instance, Sub: -1,
+			Entry: obs.Sig(res.Entry), Members: len(res.Members),
+			Score: res.Score, Overlap: res.OverlapScore, Purity: res.PurityScore,
+			Reason: "score-above-max",
+		})
+		return Candidate{}, false
+	}
+	a.cfg.Obs.Emit(obs.Decision{
+		AtNS: obs.At(at), Kind: obs.KindAnalyzed, Instance: ev.Instance, Sub: -1,
+		Entry: obs.Sig(res.Entry), Members: len(res.Members),
+		Score: res.Score, Overlap: res.OverlapScore, Purity: res.PurityScore,
+		Reason: "pass",
+	})
 	return Candidate{
 		Instance: ev.Instance,
 		Entry:    res.Entry,
 		Members:  res.Members,
 		Score:    res.Score,
+		Overlap:  res.OverlapScore,
+		Purity:   res.PurityScore,
 		At:       ev.At,
 	}, true
 }

@@ -6,6 +6,7 @@ import (
 
 	"taopt/internal/bus"
 	"taopt/internal/device"
+	"taopt/internal/obs"
 	"taopt/internal/sim"
 	"taopt/internal/trace"
 	"taopt/internal/ui"
@@ -104,6 +105,11 @@ type Config struct {
 	// when non-zero.
 	AllocRetry    sim.Duration
 	AllocRetryMax sim.Duration
+	// Obs, when non-nil, receives a typed decision-log event at every
+	// consequential coordinator branch (candidate verdicts, subspace
+	// lifecycle, health verdicts, allocation backoff). Nil — the default —
+	// costs nothing: telemetry never runs on the per-event hot path.
+	Obs *obs.Log
 }
 
 // DefaultConfig returns the paper's configuration for the given mode.
@@ -161,6 +167,8 @@ type Coordinator struct {
 	env      Env
 	port     bus.Sender
 	analyzer *Analyzer
+	// obs is the decision log (nil when telemetry is off; emits are nil-safe).
+	obs *obs.Log
 
 	// incoming[to] lists observed edges into screen `to`.
 	incoming map[ui.Signature][]edgeObs
@@ -266,11 +274,14 @@ func NewCoordinator(cfg Config, env Env, port bus.Sender, book *trace.Book) *Coo
 		cfg.AllocRetryMax = AllocRetryCap
 	}
 	cfg.Analyzer.LMin = cfg.LMin
+	cfg.Analyzer.Obs = cfg.Obs
+	cfg.Analyzer.Clock = env.Now
 	return &Coordinator{
 		cfg:           cfg,
 		env:           env,
 		port:          port,
 		analyzer:      NewAnalyzer(cfg.Analyzer, book),
+		obs:           cfg.Obs,
 		incoming:      make(map[ui.Signature][]edgeObs),
 		launchScreens: make(map[ui.Signature]bool),
 		owned:         make(map[ui.Signature]int),
@@ -362,17 +373,17 @@ func (c *Coordinator) OnTransition(ev trace.Event) {
 // learnEdge records how screens are reached, and retro-blocks newly learned
 // edges into already-accepted subspaces on non-owner instances.
 func (c *Coordinator) learnEdge(ev trace.Event) {
-	obs := edgeObs{from: ev.From, widget: ev.Action.Widget}
+	eo := edgeObs{from: ev.From, widget: ev.Action.Widget}
 	for _, e := range c.incoming[ev.To] {
-		if e == obs {
-			obs.widget = "" // sentinel: already known
+		if e == eo {
+			eo.widget = "" // sentinel: already known
 			break
 		}
 	}
-	if obs.widget == "" {
+	if eo.widget == "" {
 		return
 	}
-	c.incoming[ev.To] = append(c.incoming[ev.To], obs)
+	c.incoming[ev.To] = append(c.incoming[ev.To], eo)
 
 	// If this edge leads into a subspace someone owns, block it for every
 	// non-owner immediately.
@@ -389,17 +400,33 @@ func (c *Coordinator) learnEdge(ev trace.Event) {
 	}
 }
 
+// reject logs one candidate-rejection verdict in the decision log.
+func (c *Coordinator) reject(now sim.Duration, cand Candidate, reason string) {
+	c.obs.Emit(obs.Decision{
+		AtNS: obs.At(now), Kind: obs.KindReject, Instance: cand.Instance, Sub: -1,
+		Entry: obs.Sig(cand.Entry), Reason: reason,
+	})
+}
+
 // onCandidate applies the acceptance rules of Section 5.2: l_min^long
 // candidates are accepted at once; l_min^short candidates need matching
 // reports from ConfirmShort distinct instances.
 func (c *Coordinator) onCandidate(cand Candidate) {
 	c.stats.Candidates++
-	if c.env.Now()-c.firstSeen[cand.Instance] < c.cfg.WarmUp {
+	now := c.env.Now()
+	c.obs.Emit(obs.Decision{
+		AtNS: obs.At(now), Kind: obs.KindCandidate, Instance: cand.Instance, Sub: -1,
+		Entry: obs.Sig(cand.Entry), Members: len(cand.Members),
+		Score: cand.Score, Overlap: cand.Overlap, Purity: cand.Purity,
+	})
+	if now-c.firstSeen[cand.Instance] < c.cfg.WarmUp {
 		c.stats.WarmingUp++
+		c.reject(now, cand, "warm-up")
 		return
 	}
 	if float64(len(cand.Members)) > c.cfg.MaxSpaceFraction*float64(len(c.globalSeen)) {
 		c.stats.TooBroad++
+		c.reject(now, cand, "too-broad")
 		return
 	}
 	// Trim screens that can never be blocked or are already owned, keeping
@@ -436,18 +463,26 @@ func (c *Coordinator) onCandidate(cand Candidate) {
 	if bestSub >= 0 && bestOverlap >= len(members) && bestOverlap >= c.cfg.MinSubspaceSize {
 		if len(members) > 0 && cand.Instance == c.accepted[bestSub].Owner {
 			c.stats.Extended++
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(now), Kind: obs.KindExtend, Instance: cand.Instance, Sub: bestSub,
+				Entry: obs.Sig(c.accepted[bestSub].Entry), Members: len(members),
+			})
 			c.merge(c.accepted[bestSub], members)
 			c.analyzer.ResetInstance(cand.Instance)
+		} else {
+			c.reject(now, cand, "reobservation")
 		}
 		return
 	}
 
 	if len(members) < c.cfg.MinSubspaceSize {
 		c.stats.TrimmedAway++
+		c.reject(now, cand, "trimmed-away")
 		return
 	}
 	if _, taken := c.owned[cand.Entry]; taken || c.launchScreens[cand.Entry] {
 		c.stats.EntryTaken++
+		c.reject(now, cand, "entry-taken")
 		return
 	}
 
@@ -467,8 +502,14 @@ func (c *Coordinator) onCandidate(cand Candidate) {
 		// cross edge) — folding it in would snowball unrelated screens.
 		if cand.Instance == encl.Owner {
 			c.stats.Merged++
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(now), Kind: obs.KindMerge, Instance: cand.Instance, Sub: encl.ID,
+				Entry: obs.Sig(cand.Entry), Members: len(members),
+			})
 			c.merge(encl, members)
 			c.analyzer.ResetInstance(cand.Instance)
+		} else {
+			c.reject(now, cand, "foreign-enclosed")
 		}
 		return
 	}
@@ -477,6 +518,10 @@ func (c *Coordinator) onCandidate(cand Candidate) {
 		confirmed, merged := c.confirm(cand, members)
 		if !confirmed {
 			c.stats.Unconfirmed++
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(now), Kind: obs.KindPending, Instance: cand.Instance, Sub: -1,
+				Entry: obs.Sig(cand.Entry), Members: len(members),
+			})
 			return
 		}
 		members = merged
@@ -549,6 +594,14 @@ func (c *Coordinator) confirm(cand Candidate, members []ui.Signature) (bool, []u
 		if len(consensus) < c.cfg.MinSubspaceSize {
 			return false, nil
 		}
+		reason := "second-instance"
+		if inst == cand.Instance {
+			reason = "sustained"
+		}
+		c.obs.Emit(obs.Decision{
+			AtNS: obs.At(now), Kind: obs.KindConfirmed, Instance: cand.Instance, Sub: -1,
+			Entry: obs.Sig(cand.Entry), Members: len(consensus), Reason: reason,
+		})
 		return true, consensus
 	}
 
@@ -716,6 +769,10 @@ func (c *Coordinator) accept(cand Candidate, members []ui.Signature) {
 	}
 	sub.InitialMembers = len(sub.Members)
 	c.accepted = append(c.accepted, sub)
+	c.obs.Emit(obs.Decision{
+		AtNS: obs.At(sub.FoundAt), Kind: obs.KindAccept, Instance: sub.Owner, Sub: sub.ID,
+		Entry: obs.Sig(sub.Entry), Members: sub.InitialMembers, Score: cand.Score,
+	})
 
 	for _, id := range c.env.ActiveInstances() {
 		if id != sub.Owner {
@@ -777,6 +834,10 @@ func (c *Coordinator) allocate() (int, bool) {
 			c.deferAllocation()
 		} else {
 			c.allocDisabled = true
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(c.env.Now()), Kind: obs.KindAllocDisable, Instance: -1, Sub: -1,
+				Reason: err.Error(),
+			})
 		}
 		return 0, false
 	}
@@ -784,13 +845,21 @@ func (c *Coordinator) allocate() (int, bool) {
 	c.allocBackoff = 0
 	c.nextAllocAt = 0
 	now := c.env.Now()
+	c.obs.Emit(obs.Decision{
+		AtNS: obs.At(now), Kind: obs.KindAllocate, Instance: id, Sub: -1,
+	})
 	c.lastNew[id] = now
 	c.lastEvent[id] = now
 	c.tracked[id] = true
 	if !c.cfg.DropOrphans && len(c.orphans) > 0 {
-		c.accepted[c.orphans[0]].Owner = id
+		adopted := c.orphans[0]
+		c.accepted[adopted].Owner = id
 		c.orphans = c.orphans[1:]
 		c.stats.Rededicated++
+		c.obs.Emit(obs.Decision{
+			AtNS: obs.At(now), Kind: obs.KindRededicate, Instance: id, Sub: adopted,
+			Entry: obs.Sig(c.accepted[adopted].Entry),
+		})
 	}
 	for _, sub := range c.accepted {
 		if sub.Owner != id {
@@ -816,6 +885,10 @@ func (c *Coordinator) deferAllocation() {
 		}
 	}
 	c.nextAllocAt = c.env.Now() + c.allocBackoff
+	c.obs.Emit(obs.Decision{
+		AtNS: obs.At(c.env.Now()), Kind: obs.KindAllocDefer, Instance: -1, Sub: -1,
+		BackoffNS: int64(c.allocBackoff), Reason: "farm-busy",
+	})
 }
 
 // retire removes one instance from coordination: its lease is released when
@@ -824,9 +897,14 @@ func (c *Coordinator) deferAllocation() {
 // errors are counted, never fatal — a stale lease must not take down the
 // run.
 func (c *Coordinator) retire(id int, deallocate bool) {
+	now := c.env.Now()
 	if deallocate {
 		if err := c.env.Deallocate(id); err != nil {
 			c.stats.ReleaseErrors++
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(now), Kind: obs.KindReleaseError, Instance: id, Sub: -1,
+				Reason: err.Error(),
+			})
 		}
 		c.deallocations++
 	}
@@ -839,11 +917,17 @@ func (c *Coordinator) retire(id int, deallocate bool) {
 	for _, sub := range c.accepted {
 		if sub.Owner == id {
 			c.orphans = append(c.orphans, sub.ID)
+			reason := "queued"
 			if c.cfg.DropOrphans {
 				c.stats.DroppedOrphans++
+				reason = "dropped"
 			} else {
 				c.stats.Orphaned++
 			}
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(now), Kind: obs.KindOrphan, Instance: id, Sub: sub.ID,
+				Entry: obs.Sig(sub.Entry), Reason: reason,
+			})
 		}
 	}
 }
@@ -877,6 +961,10 @@ func (c *Coordinator) reapStagnant(now sim.Duration) {
 		if now-last <= c.cfg.Stagnation {
 			continue
 		}
+		c.obs.Emit(obs.Decision{
+			AtNS: obs.At(now), Kind: obs.KindStagnant, Instance: id, Sub: -1,
+			IdleNS: int64(now - last),
+		})
 		c.retire(id, true)
 		c.replaceLost()
 	}
@@ -920,6 +1008,9 @@ func (c *Coordinator) checkHealth(now sim.Duration) {
 			continue
 		}
 		c.stats.Deaths++
+		c.obs.Emit(obs.Decision{
+			AtNS: obs.At(now), Kind: obs.KindDead, Instance: id, Sub: -1,
+		})
 		c.retire(id, false)
 		c.replaceLost()
 	}
@@ -941,6 +1032,10 @@ func (c *Coordinator) checkHealth(now sim.Duration) {
 			continue
 		}
 		c.stats.Hangs++
+		c.obs.Emit(obs.Decision{
+			AtNS: obs.At(now), Kind: obs.KindHung, Instance: id, Sub: -1,
+			IdleNS: int64(now - last),
+		})
 		c.retire(id, true)
 		c.replaceLost()
 	}

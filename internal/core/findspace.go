@@ -47,6 +47,11 @@ type FindSpaceResult struct {
 	Members []ui.Signature
 	// Score is the minimised partition score (Algorithm 1, line 11).
 	Score float64
+	// OverlapScore and PurityScore are the score's components at the chosen
+	// split (score = overlap + 2·purity − 1); the telemetry layer logs them
+	// so threshold calibration can see *why* a window scored as it did.
+	OverlapScore float64
+	PurityScore  float64
 }
 
 // FindSpace is Algorithm 1: given a UI transition trace S with timestamps T
@@ -159,12 +164,14 @@ func FindSpace(visits []ScreenVisit, lMin sim.Duration, m Matcher) (FindSpaceRes
 
 	scoreMin := 1.0
 	pOut := -1
+	var overlapMin, purityMin float64
 	for p := 1; p <= pMax; p++ {
 		overlapScore := overlap / float64(n-p)
 		purityScore := sigmoid(float64(distinctSuff)/float64(sampleSize) - 1)
 		score := overlapScore + 2*purityScore - 1
 		if score < scoreMin {
 			scoreMin, pOut = score, p
+			overlapMin, purityMin = overlapScore, purityScore
 		}
 
 		// Advance the split: index p leaves the suffix and joins the prefix.
@@ -193,10 +200,12 @@ func FindSpace(visits []ScreenVisit, lMin sim.Duration, m Matcher) (FindSpaceRes
 		}
 	}
 	return FindSpaceResult{
-		POut:    pOut,
-		Entry:   visits[pOut].Sig,
-		Members: members,
-		Score:   scoreMin,
+		POut:         pOut,
+		Entry:        visits[pOut].Sig,
+		Members:      members,
+		Score:        scoreMin,
+		OverlapScore: overlapMin,
+		PurityScore:  purityMin,
 	}, true
 }
 

@@ -1,0 +1,53 @@
+package export
+
+import (
+	"fmt"
+
+	"taopt/internal/harness"
+	"taopt/internal/obs"
+	"taopt/internal/sim"
+)
+
+// ChromeTrace assembles a Perfetto-loadable trace-event view of one run:
+// testing instances become tracks carrying their lease spans, accepted
+// subspaces become ownership spans on their (final) owner's track, and —
+// when the run collected telemetry — every decision-log entry becomes an
+// instant event on the deciding instance's track. The assembly order is
+// fixed (instances in allocation order, subspaces in acceptance order,
+// decisions in emission order), so the serialised trace is deterministic.
+func ChromeTrace(res *harness.RunResult) *obs.ChromeTrace {
+	tr := &obs.ChromeTrace{}
+	const pid = 1
+	// Track 0 hosts coordinator-level decisions not tied to an instance
+	// (allocation backoff, alloc-disable).
+	tr.ThreadName(pid, 0, "coordinator")
+	for _, inst := range res.Instances {
+		tr.ThreadName(pid, inst.ID, fmt.Sprintf("instance %d", inst.ID))
+		name := "lease"
+		if inst.Failed {
+			name = "lease (failed)"
+		}
+		tr.Complete(name, "lease", pid, inst.ID, inst.Allocated, inst.Released-inst.Allocated)
+	}
+	for _, sub := range res.Subspaces {
+		tr.Complete(fmt.Sprintf("subspace %d", sub.ID), "subspace", pid, sub.Owner,
+			sub.FoundAt, res.WallUsed-sub.FoundAt)
+	}
+	if res.Telemetry != nil {
+		for _, d := range res.Telemetry.DecisionLog().Decisions() {
+			tid := d.Instance
+			if tid < 0 {
+				tid = 0
+			}
+			args := map[string]any{}
+			if d.Sub >= 0 {
+				args["sub"] = d.Sub
+			}
+			if d.Reason != "" {
+				args["reason"] = d.Reason
+			}
+			tr.Instant(d.Kind, "decision", pid, tid, sim.Duration(d.AtNS), args)
+		}
+	}
+	return tr
+}

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 
+	"taopt/internal/bus"
 	"taopt/internal/harness"
+	"taopt/internal/obs"
 	"taopt/internal/sim"
 	"taopt/internal/trace"
 	"taopt/internal/ui"
@@ -18,8 +20,13 @@ import (
 
 // FormatVersion identifies the serialisation schema. Version 2 replaced the
 // fault summary with the transport block (trace delivery accounting plus
-// injected faults).
-const FormatVersion = 2
+// injected faults); version 3 added the optional telemetry block (decision
+// log + metrics) and the transport's per-kind command mix. Both additions
+// are optional fields, so Read still accepts version-2 files.
+const FormatVersion = 3
+
+// minReadVersion is the oldest schema Read accepts.
+const minReadVersion = 2
 
 // Run is the serialised form of one campaign run.
 type Run struct {
@@ -37,6 +44,9 @@ type Run struct {
 	// Transport summarises the coordination transport's delivery accounting
 	// and injected device-farm failures (emitted on chaos runs only).
 	Transport *Transport `json:"transport,omitempty"`
+	// Telemetry carries the observability layer's decision log and metrics
+	// snapshot (emitted only when the run collected telemetry).
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 
 	Instances []Instance `json:"instances"`
 	Subspaces []Subspace `json:"subspaces,omitempty"`
@@ -83,6 +93,27 @@ type Transport struct {
 	AllocFailures   int `json:"alloc_failures"`
 	FailedInstances int `json:"failed_instances"`
 	OrphansPending  int `json:"orphans_pending"`
+	// CommandMix breaks Commands down per kind (format v3).
+	CommandMix *CommandMix `json:"command_mix,omitempty"`
+}
+
+// CommandMix is the transport's per-kind command breakdown. The injected
+// Kill/Hang fates travel as commands too, so their counts appear here while
+// the Deaths/Hangs fields above count the plan's draws.
+type CommandMix struct {
+	Allocate    int `json:"allocate"`
+	Deallocate  int `json:"deallocate"`
+	BlockWidget int `json:"block_widget"`
+	BlockMember int `json:"block_member"`
+	Kill        int `json:"kill"`
+	Hang        int `json:"hang"`
+}
+
+// Telemetry is the serialised observability block: the coordinator's
+// decision log in emission order and the metrics registry's snapshot.
+type Telemetry struct {
+	Decisions []obs.Decision `json:"decisions"`
+	Metrics   []obs.Metric   `json:"metrics,omitempty"`
 }
 
 // Crash is one observed crash.
@@ -142,6 +173,20 @@ func FromResult(res *harness.RunResult) *Run {
 			AllocFailures:   st.AllocFailures,
 			FailedInstances: res.FailedInstances,
 			OrphansPending:  res.OrphansPending,
+			CommandMix: &CommandMix{
+				Allocate:    st.KindCount(bus.Allocate),
+				Deallocate:  st.KindCount(bus.Deallocate),
+				BlockWidget: st.KindCount(bus.BlockWidget),
+				BlockMember: st.KindCount(bus.BlockMember),
+				Kill:        st.KindCount(bus.Kill),
+				Hang:        st.KindCount(bus.Hang),
+			},
+		}
+	}
+	if tel := res.Telemetry; tel != nil {
+		out.Telemetry = &Telemetry{
+			Decisions: tel.DecisionLog().Decisions(),
+			Metrics:   tel.Registry().Snapshot(),
 		}
 	}
 	for _, inst := range res.Instances {
@@ -224,8 +269,8 @@ func Read(rd io.Reader) (*Run, error) {
 	if err := json.NewDecoder(rd).Decode(&run); err != nil {
 		return nil, fmt.Errorf("export: decoding run: %w", err)
 	}
-	if run.Version != FormatVersion {
-		return nil, fmt.Errorf("export: unsupported format version %d (want %d)", run.Version, FormatVersion)
+	if run.Version < minReadVersion || run.Version > FormatVersion {
+		return nil, fmt.Errorf("export: unsupported format version %d (want %d..%d)", run.Version, minReadVersion, FormatVersion)
 	}
 	return &run, nil
 }

@@ -113,6 +113,18 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 type Campaign struct {
 	cfg   CampaignConfig
 	cells map[CellKey]*CellSummary
+	stats FleetStats
+}
+
+// FleetStats is the campaign's cache-and-pool accounting: how many cells
+// were actually simulated, how many lookups the cache absorbed, and how the
+// Prefetch batches spread across the worker pool (per-slot job counts from
+// the most recent batch; assignment is racy by design, results never are).
+type FleetStats struct {
+	Computed      int
+	CacheHits     int
+	Workers       int
+	JobsPerWorker []int
 }
 
 // NewCampaign returns an empty campaign with the given configuration.
@@ -150,15 +162,24 @@ func (c *Campaign) cellSeed(key CellKey) int64 {
 func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, error) {
 	key := CellKey{App: appName, Tool: tool, Setting: setting}
 	if s, ok := c.cells[key]; ok {
+		c.stats.CacheHits++
 		return s, nil
 	}
 	s, err := c.computeCell(key)
 	if err != nil {
 		return nil, err
 	}
+	c.stats.Computed++
 	c.cells[key] = s
 	c.logProgress(s)
 	return s, nil
+}
+
+// FleetStats returns the campaign's cache and worker-pool accounting so far.
+func (c *Campaign) FleetStats() FleetStats {
+	st := c.stats
+	st.JobsPerWorker = append([]int(nil), c.stats.JobsPerWorker...)
+	return st
 }
 
 // computeCell executes one cell without touching the cache or the progress
@@ -217,9 +238,13 @@ func (c *Campaign) Prefetch(tools []string, settings ...Setting) error {
 	if workers < 1 {
 		workers = 1
 	}
-	results := fleet.Map(workers, len(keys), func(i int) (*CellSummary, error) {
+	results, pool := fleet.MapTracked(workers, len(keys), func(i int) (*CellSummary, error) {
 		return c.computeCell(keys[i])
 	})
+	if pool.Workers > 0 {
+		c.stats.Workers = pool.Workers
+		c.stats.JobsPerWorker = pool.JobsPerWorker
+	}
 	var firstErr error
 	for _, r := range results {
 		if r.Err != nil {
@@ -228,6 +253,7 @@ func (c *Campaign) Prefetch(tools []string, settings ...Setting) error {
 			}
 			continue
 		}
+		c.stats.Computed++
 		c.cells[r.Value.Key] = r.Value
 		c.logProgress(r.Value)
 	}

@@ -22,13 +22,38 @@ type Result[T any] struct {
 	Err   error
 }
 
+// PoolStats reports how one Map invocation's jobs spread across the pool.
+// JobsPerWorker is indexed by worker slot; a serial run has one slot.
+type PoolStats struct {
+	Workers       int
+	JobsPerWorker []int
+}
+
+// Jobs returns the total job count across workers.
+func (p PoolStats) Jobs() int {
+	n := 0
+	for _, j := range p.JobsPerWorker {
+		n += j
+	}
+	return n
+}
+
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines and
 // returns the results indexed by input position. workers <= 0 means
 // GOMAXPROCS; the pool never exceeds n. A panicking job is recovered into
 // its Result's Err so one bad cell cannot take down a whole campaign.
 func Map[T any](workers, n int, fn func(int) (T, error)) []Result[T] {
+	results, _ := MapTracked(workers, n, fn)
+	return results
+}
+
+// MapTracked is Map plus pool accounting: how many jobs each worker slot
+// completed. Job-to-worker assignment is racy by design (workers grab the
+// next index as they free up), so JobsPerWorker varies run to run — the
+// results never do.
+func MapTracked[T any](workers, n int, fn func(int) (T, error)) ([]Result[T], PoolStats) {
 	if n <= 0 {
-		return nil
+		return nil, PoolStats{}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -37,17 +62,19 @@ func Map[T any](workers, n int, fn func(int) (T, error)) []Result[T] {
 		workers = n
 	}
 	results := make([]Result[T], n)
+	stats := PoolStats{Workers: workers, JobsPerWorker: make([]int, workers)}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			results[i] = call(i, fn)
 		}
-		return results
+		stats.JobsPerWorker[0] = n
+		return results, stats
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -55,11 +82,12 @@ func Map[T any](workers, n int, fn func(int) (T, error)) []Result[T] {
 					return
 				}
 				results[i] = call(i, fn)
+				stats.JobsPerWorker[slot]++
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	return results
+	return results, stats
 }
 
 // call invokes one job, converting a panic into an error.

@@ -15,6 +15,7 @@ import (
 	"taopt/internal/device"
 	"taopt/internal/faults"
 	"taopt/internal/metrics"
+	"taopt/internal/obs"
 	"taopt/internal/sim"
 	"taopt/internal/toller"
 	"taopt/internal/tools"
@@ -95,6 +96,10 @@ type RunConfig struct {
 	// (instance death/hang, allocation outages, trace drop/delay) from a
 	// deterministic plan derived from the run seed. Nil runs fault-free.
 	Faults *faults.Config
+	// Telemetry enables the observability layer: the coordinator's decision
+	// log and the run's metrics registry (see internal/obs). Off by default;
+	// a disabled run carries a nil sink and pays nothing on the hot path.
+	Telemetry bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -157,6 +162,9 @@ type RunResult struct {
 	// replacement owner when the run ended (TaOPT settings only; always 0
 	// unless DropOrphans or the run ends mid-outage).
 	OrphansPending int
+	// Telemetry holds the run's decision log and metrics registry when
+	// RunConfig.Telemetry was set; nil otherwise.
+	Telemetry *obs.Telemetry
 }
 
 // InstanceSets returns the per-instance covered-method sets.
@@ -235,6 +243,10 @@ type runner struct {
 
 	occurrences map[ui.Signature]int
 	timeline    metrics.Timeline
+	// tel is the run's telemetry (nil when RunConfig.Telemetry is off; every
+	// producer below guards on it, so a disabled run takes no telemetry
+	// branches beyond one nil check).
+	tel *obs.Telemetry
 }
 
 func newRunner(cfg RunConfig) *runner {
@@ -245,6 +257,9 @@ func newRunner(cfg RunConfig) *runner {
 		rng:         sim.NewRNG(cfg.Seed),
 		actors:      make(map[int]*actor),
 		occurrences: make(map[ui.Signature]int),
+	}
+	if cfg.Telemetry {
+		r.tel = obs.NewTelemetry()
 	}
 
 	maxDevices := cfg.Instances
@@ -277,6 +292,14 @@ func newRunner(cfg RunConfig) *runner {
 			r.strategy.onEvent(ev)
 		}
 	})
+	if r.tel != nil {
+		// Count deliveries on the coordinator side of the transport: the gap
+		// to the per-instance emitted counters is the injected trace loss.
+		reg := r.tel.Registry()
+		r.port.Subscribe(func(ev trace.Event) {
+			reg.Inc(obs.InstanceCounter("bus.delivered", ev.Instance), 1)
+		})
+	}
 	return r
 }
 
@@ -445,6 +468,9 @@ func (r *runner) blocks(id int) *toller.BlockSet {
 // degrade coordination (the strategy subscribes through the bus), never the
 // measurements.
 func (r *runner) recordEvent(ev trace.Event) {
+	if r.tel != nil {
+		r.tel.Registry().Inc(obs.InstanceCounter("trace.emitted", ev.Instance), 1)
+	}
 	if ev.Enforced {
 		return
 	}
@@ -525,6 +551,23 @@ func (r *runner) sample() {
 		p.AJS = metrics.AJS(sets)
 	}
 	r.timeline = append(r.timeline, p)
+	if r.tel != nil {
+		reg := r.tel.Registry()
+		reg.Append("run.coverage", now, float64(p.Covered))
+		reg.Append("run.crashes", now, float64(p.Crashes))
+		active := len(r.farm.Active())
+		reg.Append("fleet.active", now, float64(active))
+		reg.Append("fleet.utilization", now, float64(active)/float64(r.farm.MaxDevices()))
+		var widgets, members int
+		for _, id := range r.order {
+			if a := r.actors[id]; !a.stopped {
+				widgets += a.driver.Blocks().WidgetBlockCount()
+				members += a.driver.Blocks().MemberCount()
+			}
+		}
+		reg.Append("blocks.widgets", now, float64(widgets))
+		reg.Append("blocks.members", now, float64(members))
+	}
 }
 
 func (r *runner) run() {
@@ -599,6 +642,28 @@ func (r *runner) result() *RunResult {
 		st := r.coord.DecisionStats()
 		res.CoordinatorStats = &st
 		res.OrphansPending = r.coord.OrphanCount()
+	}
+	if r.tel != nil {
+		// Fold the transport's delivery accounting in as one more producer,
+		// and close the books on the run-level aggregates.
+		reg := r.tel.Registry()
+		ts := res.Transport
+		reg.Inc("bus.published", int64(ts.Published))
+		reg.Inc("bus.delivered", int64(ts.Delivered))
+		reg.Inc("bus.dropped", int64(ts.Dropped))
+		reg.Inc("bus.delayed", int64(ts.Delayed))
+		reg.Inc("bus.commands", int64(ts.Commands))
+		for k := 0; k < bus.NumCommandKinds; k++ {
+			reg.Inc("bus.commands."+bus.CommandKind(k).String(), int64(ts.ByKind[k]))
+		}
+		reg.SetGauge("run.wall_ns", float64(res.WallUsed))
+		reg.SetGauge("run.machine_ns", float64(res.MachineUsed))
+		reg.SetGauge("farm.failed_leases", float64(res.FailedInstances))
+		for _, ir := range res.Instances {
+			mins := float64(ir.Released-ir.Allocated) / 60e9
+			reg.Observe("lease.duration_min", mins, 5, 15, 30, 60, 120)
+		}
+		res.Telemetry = r.tel
 	}
 	return res
 }

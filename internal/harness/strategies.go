@@ -111,6 +111,9 @@ func newTaOPT(r *runner, mode core.Mode) *taopt {
 		cfg = *r.cfg.CoreConfig
 		cfg.Mode = mode
 	}
+	// Nil when telemetry is off: the coordinator's decision-log emits are
+	// nil-safe no-ops.
+	cfg.Obs = r.tel.DecisionLog()
 	coord := core.NewCoordinator(cfg, r, r.port, r.book)
 	r.coord = coord
 	return &taopt{coord: coord}

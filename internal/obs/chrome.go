@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"taopt/internal/sim"
+)
+
+// ChromeTrace accumulates Chrome trace-event-format events (the JSON format
+// chrome://tracing and Perfetto load). Testing instances map to tracks
+// (tid), subspace ownership to duration spans, and decision-log entries to
+// instant events; virtual-clock nanoseconds are converted to the format's
+// microseconds.
+//
+// Events serialise in insertion order, so a deterministically assembled
+// trace is byte-deterministic too.
+type ChromeTrace struct {
+	events []chromeEvent
+}
+
+// chromeEvent is one trace-event object. Only the fields the format
+// requires (and the viewers read) are emitted.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	// S is the instant-event scope ("t" = thread).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func micros(d sim.Duration) int64 { return int64(d) / 1000 }
+
+// ThreadName emits a metadata event naming a track (Perfetto shows it as
+// the lane label).
+func (t *ChromeTrace) ThreadName(pid, tid int, name string) {
+	t.events = append(t.events, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Complete emits one complete-duration span (ph "X").
+func (t *ChromeTrace) Complete(name, cat string, pid, tid int, start, dur sim.Duration) {
+	if dur < 0 {
+		dur = 0
+	}
+	t.events = append(t.events, chromeEvent{
+		Name: name, Cat: cat, Ph: "X", TS: micros(start), Dur: micros(dur), PID: pid, TID: tid,
+	})
+}
+
+// Instant emits one thread-scoped instant event (ph "i").
+func (t *ChromeTrace) Instant(name, cat string, pid, tid int, at sim.Duration, args map[string]any) {
+	t.events = append(t.events, chromeEvent{
+		Name: name, Cat: cat, Ph: "i", TS: micros(at), PID: pid, TID: tid, S: "t", Args: args,
+	})
+}
+
+// Len returns the number of accumulated events.
+func (t *ChromeTrace) Len() int { return len(t.events) }
+
+// Write serialises the trace as a JSON object with a traceEvents array —
+// the container format both about:tracing and Perfetto accept.
+func (t *ChromeTrace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: t.events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"taopt/internal/sim"
+)
+
+// TestNilSafety: every emit path must be a no-op on nil receivers — the
+// harness threads nil telemetry through uninstrumented runs.
+func TestNilSafety(t *testing.T) {
+	var l *Log
+	l.Emit(Decision{Kind: KindAccept})
+	if l.Len() != 0 || l.Decisions() != nil {
+		t.Fatal("nil log recorded something")
+	}
+	if err := l.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var r *Registry
+	r.Inc("c", 1)
+	r.SetGauge("g", 1)
+	r.Observe("h", 1)
+	r.Append("s", 0, 1)
+	if r.Counter("c") != 0 || r.Gauge("g") != 0 || r.Snapshot() != nil {
+		t.Fatal("nil registry recorded something")
+	}
+
+	var tel *Telemetry
+	if tel.DecisionLog() != nil || tel.Registry() != nil {
+		t.Fatal("nil telemetry returned non-nil components")
+	}
+}
+
+// TestLogJSONLDeterministic: the same decisions serialise to the same
+// bytes, one compact JSON object per line, in emission order.
+func TestLogJSONLDeterministic(t *testing.T) {
+	build := func() *Log {
+		l := &Log{}
+		l.Emit(Decision{AtNS: 1e9, Kind: KindCandidate, Instance: 1, Sub: -1, Members: 4, Score: 0.25})
+		l.Emit(Decision{AtNS: 2e9, Kind: KindReject, Instance: 1, Sub: -1, Reason: "warm-up"})
+		l.Emit(Decision{AtNS: 3e9, Kind: KindAccept, Instance: 1, Sub: 0, Entry: 42, Members: 4})
+		return l
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical logs serialised differently")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var d Decision
+	if err := json.Unmarshal([]byte(lines[2]), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindAccept || d.Entry != 42 || d.Sub != 0 {
+		t.Fatalf("round-trip mangled decision: %+v", d)
+	}
+	if got := build().CountByKind()[KindReject]; got != 1 {
+		t.Fatalf("CountByKind[reject] = %d, want 1", got)
+	}
+	if got := build().CountByReason(KindReject)["warm-up"]; got != 1 {
+		t.Fatalf("CountByReason = %d, want 1", got)
+	}
+}
+
+// TestRegistrySnapshotSorted: snapshots list counters, gauges, histograms
+// and series in sorted name order with correct values.
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("z.count", 2)
+	r.Inc("a.count", 3)
+	r.SetGauge("g", 1.5)
+	r.Observe("h", 2, 1, 5, 10)
+	r.Observe("h", 7, 1, 5, 10)
+	r.Observe("h", 100, 1, 5, 10)
+	r.Append("s", sim.Duration(10e9), 4)
+	r.Append("s", sim.Duration(20e9), 5)
+
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, m := range snap {
+		names[i] = m.Type + ":" + m.Name
+	}
+	want := []string{"counter:a.count", "counter:z.count", "gauge:g", "histogram:h", "series:s"}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot has %d entries, want %d: %v", len(names), len(want), names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+
+	h := snap[3]
+	if h.Count != 3 || h.Min != 2 || h.Max != 100 {
+		t.Fatalf("histogram summary wrong: %+v", h)
+	}
+	// 2 ≤ 5 → bucket 1; 7 ≤ 10 → bucket 2; 100 overflows → bucket 3.
+	wantCounts := []int64{0, 1, 1, 1}
+	for i, c := range h.Counts {
+		if c != wantCounts[i] {
+			t.Fatalf("bucket counts = %v, want %v", h.Counts, wantCounts)
+		}
+	}
+	s := snap[4]
+	if len(s.Points) != 2 || s.Points[1].Value != 5 {
+		t.Fatalf("series points wrong: %+v", s.Points)
+	}
+	if got := InstanceCounter("bus.delivered", 3); got != "bus.delivered.inst.3" {
+		t.Fatalf("InstanceCounter = %q", got)
+	}
+}
+
+// TestChromeTraceFormat: the writer must produce a trace-event-format
+// document a JSON decoder (standing in for Perfetto's loader) accepts, with
+// the required fields on every event and microsecond timestamps.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := &ChromeTrace{}
+	tr.ThreadName(1, 2, "instance 2")
+	tr.Complete("lease", "instance", 1, 2, sim.Duration(1e9), sim.Duration(3e9))
+	tr.Instant(KindAccept, "decision", 1, 2, sim.Duration(2e9), map[string]any{"sub": 0})
+	tr.Complete("neg", "instance", 1, 2, sim.Duration(5e9), -sim.Duration(1e9)) // clamped
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   *int64 `json:"ts"`
+			Dur  int64  `json:"dur"`
+			PID  *int   `json:"pid"`
+			TID  *int   `json:"tid"`
+			S    string `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.TS == nil || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, ev)
+		}
+	}
+	span := doc.TraceEvents[1]
+	if span.Ph != "X" || *span.TS != 1e6 || span.Dur != 3e6 {
+		t.Fatalf("span not in microseconds: %+v", span)
+	}
+	inst := doc.TraceEvents[2]
+	if inst.Ph != "i" || inst.S != "t" {
+		t.Fatalf("instant event malformed: %+v", inst)
+	}
+	if doc.TraceEvents[3].Dur != 0 {
+		t.Fatal("negative duration not clamped to 0")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/metrics"
+	"taopt/internal/obs"
 	"taopt/internal/sim"
 	"taopt/internal/tools"
 	"taopt/internal/ui"
@@ -85,6 +86,13 @@ type (
 	// events published and delivered, commands carried, and injected faults
 	// (RunResult.Transport).
 	TransportStats = bus.Stats
+	// Telemetry is a run's observability bundle — the coordinator's decision
+	// log and the metrics registry — collected when RunConfig.Telemetry is
+	// set (RunResult.Telemetry).
+	Telemetry = obs.Telemetry
+	// Decision is one typed decision-log entry (candidate verdicts, subspace
+	// lifecycle, health verdicts, allocation backoff).
+	Decision = obs.Decision
 	// Duration is virtual time.
 	Duration = sim.Duration
 	// ScreenSignature identifies an abstract UI screen.
