@@ -1,0 +1,30 @@
+# Developer entry points. Everything here is plain go tool invocations —
+# the module has zero dependencies, so every target works fully offline.
+
+GO ?= go
+
+.PHONY: build test race lint vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# taoptvet is the in-repo go/analysis-style suite enforcing the
+# determinism and layering contracts (DESIGN.md §10). It is built from
+# internal/lint with no dependency outside the standard library, so there
+# is no tool version to pin: the go.mod toolchain pins the build.
+lint:
+	$(GO) run ./cmd/taoptvet ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+check: build vet lint test

@@ -210,7 +210,7 @@ func main() {
 		// stay byte-identical to a serial run.
 		st := c.FleetStats()
 		fmt.Fprintf(os.Stderr, "fleet: %d cells computed, %d cache hits, %d workers, jobs per worker %v\n",
-			st.Computed, st.CacheHits, st.Workers, st.JobsPerWorker)
+			st.CellsComputed, st.CacheHits, st.Workers, st.JobsPerWorker)
 	}
 }
 

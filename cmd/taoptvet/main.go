@@ -1,0 +1,86 @@
+// Command taoptvet runs the repository's determinism and layering
+// analyzers (internal/lint) over Go packages: walltime, globalrand,
+// maporder and buslayer. It is the enforcement half of the determinism
+// contract in DESIGN.md §10 — the goldens tell you *that* a run stopped
+// being reproducible, taoptvet tells you *which statement* broke it.
+//
+// Standalone (the usual way, also what CI runs):
+//
+//	go run ./cmd/taoptvet ./...
+//
+// As a vet tool, so the suite runs alongside the standard vet passes with
+// cmd/go's caching and package metadata:
+//
+//	go build -o /tmp/taoptvet ./cmd/taoptvet
+//	go vet -vettool=/tmp/taoptvet ./...
+//
+// Findings print as file:line:col: analyzer: message. A justified
+// //lint:allow <analyzer> "why" comment on the offending line (or the line
+// above) suppresses a finding; the justification string is mandatory.
+// taoptvet exits 0 when the tree is clean and nonzero otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taopt/internal/cli"
+	"taopt/internal/lint"
+)
+
+func main() {
+	fatalf := cli.Fatalf("taoptvet")
+
+	// cmd/go's -vettool handshake: it probes the tool's version for its
+	// build cache key, asks for the tool's flags, then invokes it once
+	// per package with a *.cfg file. Handle those shapes before normal
+	// flag parsing so the same binary serves both modes.
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("taoptvet version v1 buildID=taoptvet-v1\n")
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVetTool(args[0], fatalf)
+		return
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: taoptvet [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers(lint.DefaultConfig()) {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader := lint.NewLoader(root)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	findings, err := lint.Analyze(pkgs, lint.Analyzers(lint.DefaultConfig()))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "taoptvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"taopt/internal/lint"
+)
+
+// vetConfig is the package description cmd/go hands a -vettool, one JSON
+// file per package (the same shape x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes one package in `go vet -vettool` mode: files and the
+// import universe come pre-resolved from cmd/go, and types of dependencies
+// are read from compiler export data instead of being re-checked from
+// source. Diagnostics go to stderr with exit status 2, vet's convention.
+func runVetTool(cfgFile string, fatalf func(string, ...any)) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgFile, err)
+	}
+	// cmd/go expects the facts file to exist afterwards; the suite keeps
+	// no cross-package facts, so an empty one is complete.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The contract governs production code; test fixtures may wire
+		// layers together directly (core tests construct real farms).
+		// The standalone driver never sees test files either, so both
+		// modes agree.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+	findings, err := lint.Analyze([]*lint.Package{pkg}, lint.Analyzers(lint.DefaultConfig()))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}

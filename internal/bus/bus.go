@@ -14,6 +14,7 @@ package bus
 import (
 	"errors"
 
+	"taopt/internal/device"
 	"taopt/internal/trace"
 	"taopt/internal/ui"
 )
@@ -144,6 +145,13 @@ type Transport interface {
 
 // ErrNotBound is returned for commands sent before Bind.
 var ErrNotBound = errors.New("bus: no executor bound")
+
+// ErrFarmBusy is the retryable allocation sentinel, re-exported so the
+// coordinator can classify Allocate replies without importing the
+// instance-side device package (the bus is the only seam between them —
+// see DESIGN.md §10). It aliases the farm's sentinel, so errors.Is matches
+// wrapped errors from either side.
+var ErrFarmBusy = device.ErrFarmBusy
 
 // Inline is the synchronous in-process transport: events and commands are
 // delivered immediately, in order, with no loss — the fabric of a fault-free

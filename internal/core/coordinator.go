@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"taopt/internal/bus"
-	"taopt/internal/device"
 	"taopt/internal/obs"
 	"taopt/internal/sim"
 	"taopt/internal/trace"
@@ -143,7 +142,7 @@ type Env interface {
 	// ActiveInstances lists the IDs of running instances.
 	ActiveInstances() []int
 	// Allocate boots a new testing instance, returning its ID. An error
-	// wrapping device.ErrFarmBusy means no device is available right now
+	// wrapping bus.ErrFarmBusy means no device is available right now
 	// and the attempt may be retried; any other error is permanent (the
 	// run is winding down) and stops further allocation.
 	Allocate() (id int, err error)
@@ -821,7 +820,7 @@ func (c *Coordinator) blockSubspace(id int, sub *Subspace) {
 // instance (a subspace must always have a living owner, or it becomes a
 // permanently blocked dead zone); every other accepted subspace is blocked.
 //
-// On a busy farm (device.ErrFarmBusy) the want is deferred and retried by
+// On a busy farm (bus.ErrFarmBusy) the want is deferred and retried by
 // Tick with capped exponential backoff; any other allocation error is
 // permanent (the run is winding down) and disables allocation for good.
 func (c *Coordinator) allocate() (int, bool) {
@@ -830,7 +829,7 @@ func (c *Coordinator) allocate() (int, bool) {
 	}
 	id, err := c.env.Allocate()
 	if err != nil {
-		if errors.Is(err, device.ErrFarmBusy) {
+		if errors.Is(err, bus.ErrFarmBusy) {
 			c.deferAllocation()
 		} else {
 			c.allocDisabled = true

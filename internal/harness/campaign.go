@@ -121,7 +121,7 @@ type Campaign struct {
 // Prefetch batches spread across the worker pool (per-slot job counts from
 // the most recent batch; assignment is racy by design, results never are).
 type FleetStats struct {
-	Computed      int
+	CellsComputed int
 	CacheHits     int
 	Workers       int
 	JobsPerWorker []int
@@ -169,7 +169,7 @@ func (c *Campaign) Cell(appName, tool string, setting Setting) (*CellSummary, er
 	if err != nil {
 		return nil, err
 	}
-	c.stats.Computed++
+	c.stats.CellsComputed++
 	c.cells[key] = s
 	c.logProgress(s)
 	return s, nil
@@ -253,7 +253,7 @@ func (c *Campaign) Prefetch(tools []string, settings ...Setting) error {
 			}
 			continue
 		}
-		c.stats.Computed++
+		c.stats.CellsComputed++
 		c.cells[r.Value.Key] = r.Value
 		c.logProgress(r.Value)
 	}

@@ -128,6 +128,48 @@ func TestFleetCampaignParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestFleetStatsCellsComputedWorkerInvariance pins the accounting half of
+// the fleet determinism guarantee: how many cells a Prefetch simulates is a
+// property of the grid, never of the pool width — only JobsPerWorker (racy
+// by design) may differ between worker counts.
+func TestFleetStatsCellsComputedWorkerInvariance(t *testing.T) {
+	settings := []Setting{BaselineParallel, TaOPTDuration}
+	wantCells := 2 * len(settings) // two apps × two settings
+
+	var baseline FleetStats
+	for i, workers := range []int{1, 2, 4} {
+		cfg := tinyConfig()
+		cfg.Apps = []string{"Filters For Selfie", "Marvel Comics"}
+		cfg.Workers = workers
+		c := NewCampaign(cfg)
+		if err := c.Prefetch(nil, settings...); err != nil {
+			t.Fatal(err)
+		}
+		st := c.FleetStats()
+		if st.CellsComputed != wantCells {
+			t.Fatalf("workers=%d: CellsComputed = %d, want %d", workers, st.CellsComputed, wantCells)
+		}
+		if st.CacheHits != 0 {
+			t.Fatalf("workers=%d: fresh prefetch recorded %d cache hits", workers, st.CacheHits)
+		}
+		// Re-reading a prefetched cell must hit the cache, not recompute.
+		mustCellT(t, c, "Marvel Comics", "monkey", TaOPTDuration)
+		st = c.FleetStats()
+		if st.CellsComputed != wantCells || st.CacheHits != 1 {
+			t.Fatalf("workers=%d after cached read: CellsComputed = %d, CacheHits = %d, want %d and 1",
+				workers, st.CellsComputed, st.CacheHits, wantCells)
+		}
+		if i == 0 {
+			baseline = st
+			continue
+		}
+		if st.CellsComputed != baseline.CellsComputed || st.CacheHits != baseline.CacheHits {
+			t.Fatalf("workers=%d stats {cells=%d hits=%d} diverge from serial {cells=%d hits=%d}",
+				workers, st.CellsComputed, st.CacheHits, baseline.CellsComputed, baseline.CacheHits)
+		}
+	}
+}
+
 func TestRunDeterminism(t *testing.T) {
 	run := func() *RunResult {
 		res, err := Run(RunConfig{

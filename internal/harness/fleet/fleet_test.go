@@ -20,6 +20,9 @@ func TestFleetMapOrdersResults(t *testing.T) {
 
 func TestFleetMapRunsEveryJobOnce(t *testing.T) {
 	var calls atomic.Int64
+	// seen is a slice indexed by job — not a map — so the verification
+	// range below visits it in deterministic index order (taoptvet's
+	// maporder analyzer only suspects map ranges).
 	seen := make([]atomic.Int64, 50)
 	Map(8, 50, func(i int) (struct{}, error) {
 		calls.Add(1)

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Buslayer is a depguard-style architecture check: each package tree named
+// in the config's layer table may import, from inside the module, only its
+// own subtree and the trees its rule allows. The table encodes the PR-2
+// seam — core drives instances exclusively through bus.Sender/bus.Executor,
+// instance-side packages never reach up into coordination, and obs stays a
+// leaf — so a single stray import cannot quietly re-couple the layers.
+func Buslayer(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "buslayer",
+		Doc: "reject imports that violate the transport layering: the coordinator talks to instances " +
+			"only through the bus seam, and lower layers never import the layers riding on them",
+	}
+	a.Run = func(pass *Pass) error {
+		path := pass.Pkg.Path()
+		rule := cfg.layerRule(path)
+		if rule == nil {
+			return nil
+		}
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				target, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if !strings.HasPrefix(target, cfg.ModulePrefix) {
+					continue // stdlib and external imports are not layering
+				}
+				if matches(target, rule.Pkg) || matchesAny(target, rule.Allow) {
+					continue
+				}
+				allowed := append([]string(nil), rule.Allow...)
+				sort.Strings(allowed)
+				allowedDesc := strings.Join(allowed, ", ")
+				if allowedDesc == "" {
+					allowedDesc = "none"
+				}
+				pass.Reportf(imp.Pos(),
+					"%s must not import %s (%s); allowed module imports: %s",
+					rule.Pkg, target, rule.Hint, allowedDesc)
+			}
+		}
+		return nil
+	}
+	return a
+}

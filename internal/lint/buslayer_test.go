@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestBuslayerCoreMustUseBusSeam(t *testing.T) {
+	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/core", "testdata/buslayer/core")
+}
+
+func TestBuslayerObsIsALeaf(t *testing.T) {
+	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/obs", "testdata/buslayer/obs")
+}
+
+func TestBuslayerUngovernedPackageIsFree(t *testing.T) {
+	// Cross-layer imports under a tree with no layer rule: no findings.
+	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/harness", "testdata/buslayer/free")
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPkgs are the stdlib generators deterministic packages must not touch.
+// math/rand's global functions share one process-wide source, and both its
+// and math/rand/v2's algorithms may change across Go releases; the
+// reproduction instead derives every stream from internal/sim/rng.go, which
+// is seeded per (campaign, instance) and stable by construction.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Globalrand forbids package-level math/rand functions (the shared global
+// source) and its source constructors in deterministic packages, pointing
+// the author at the per-instance RNG instead. Methods on an existing
+// *rand.Rand value are not flagged: the violation is minting randomness
+// outside the sim seed tree, not consuming a value someone handed you.
+func Globalrand(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc: "forbid math/rand and math/rand/v2 package-level functions in deterministic packages; " +
+			"randomness comes from the per-instance sim.RNG so every stream derives from the campaign seed",
+	}
+	a.Run = func(pass *Pass) error {
+		path := pass.Pkg.Path()
+		if !cfg.deterministic(path) || matchesAny(path, cfg.RandAllowed) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // method on a rand value, not the global source
+				}
+				pass.Reportf(id.Pos(),
+					"%s.%s in deterministic package %s; derive randomness from the per-instance RNG "+
+						"(internal/sim/rng.go) so streams are seeded and stable across Go releases",
+					fn.Pkg().Path(), fn.Name(), path)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestGlobalrandFlagsDeterministicPackage(t *testing.T) {
+	linttest.Run(t, lint.Globalrand(lint.DefaultConfig()), "taopt/internal/core", "testdata/globalrand/det")
+}
+
+func TestGlobalrandAllowsCommands(t *testing.T) {
+	linttest.Run(t, lint.Globalrand(lint.DefaultConfig()), "taopt/cmd/gen", "testdata/globalrand/cmd")
+}

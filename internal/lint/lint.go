@@ -1,0 +1,188 @@
+// Package lint is taoptvet's analysis framework: a small, stdlib-only
+// reimplementation of the golang.org/x/tools/go/analysis surface plus the
+// four analyzers that enforce this repository's determinism and layering
+// contracts (see DESIGN.md §10):
+//
+//   - walltime: deterministic packages must drive runs from sim.Clock
+//     virtual time, never the process wall clock.
+//   - globalrand: deterministic packages must draw randomness from the
+//     per-instance RNG in internal/sim/rng.go, never math/rand.
+//   - maporder: output paths must never depend on Go map iteration order.
+//   - buslayer: the coordinator talks to instances only through the bus
+//     seam; imports that shortcut the layering are rejected.
+//
+// The framework is intentionally API-compatible in spirit with go/analysis
+// (Analyzer, Pass, Diagnostic) so the suite can migrate to the real
+// x/tools multichecker if the dependency ever becomes available; it is
+// hand-rolled here because the build must work fully offline with zero
+// module dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `taoptvet -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report records one diagnostic. Suppression via //lint:allow
+	// directives happens behind this callback, so analyzers report
+	// every violation unconditionally.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one violation found by an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic: position mapped through the file
+// set and tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer      string
+	justification string
+	pos           token.Pos
+}
+
+var allowRE = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9-]*)(?:\s+"((?:[^"\\]|\\.)*)")?\s*$`)
+
+// collectAllows scans a package's comments for //lint:allow directives and
+// indexes them by file and line. A directive without a justification string
+// is itself a violation: the escape hatch requires saying why.
+func collectAllows(p *Package, report func(Finding)) map[string][]allowDirective {
+	allows := make(map[string][]allowDirective)
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil || m[2] == "" {
+					report(Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  `malformed or unjustified //lint:allow directive; the form is //lint:allow <analyzer> "why this exception is safe"`,
+					})
+					continue
+				}
+				key := allowKey(pos.Filename, pos.Line)
+				allows[key] = append(allows[key], allowDirective{
+					analyzer: m[1], justification: m[2], pos: c.Pos(),
+				})
+			}
+		}
+	}
+	return allows
+}
+
+func allowKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}
+
+// suppressed reports whether a diagnostic at pos from the named analyzer is
+// covered by an allow directive on the same line or the line directly above.
+func suppressed(allows map[string][]allowDirective, analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range allows[allowKey(pos.Filename, line)] {
+			if a.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Analyze runs every analyzer over every package and returns the surviving
+// findings sorted by position then analyzer name, so output is byte-stable
+// across runs — the suite holds itself to the contract it enforces.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, p := range pkgs {
+		allows := collectAllows(p, func(f Finding) { findings = append(findings, f) })
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := p.Fset.Position(d.Pos)
+				if suppressed(allows, a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Analyzers returns the full taoptvet suite configured by cfg.
+func Analyzers(cfg *Config) []*Analyzer {
+	return []*Analyzer{
+		Walltime(cfg),
+		Globalrand(cfg),
+		Maporder(),
+		Buslayer(cfg),
+	}
+}

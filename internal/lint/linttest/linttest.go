@@ -1,0 +1,148 @@
+// Package linttest is an analysistest-style harness for the taoptvet
+// analyzers: it type-checks a testdata directory as a package with a
+// chosen (synthetic) import path and compares the analyzer's findings
+// against `// want "regexp"` comments in the sources.
+//
+// The import path matters because several analyzers are path-scoped — a
+// testdata tree checked as taopt/internal/core exercises the deterministic
+// rules, while the same code checked as taopt/internal/cli must stay
+// silent. Expectations are per line: every finding must match a want
+// pattern on its line, and every want pattern must be matched by at least
+// one finding.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"taopt/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run checks dir as a package imported as pkgpath, runs the analyzer, and
+// reports mismatches against the // want comments through t.
+func Run(t *testing.T, a *lint.Analyzer, pkgpath, dir string) {
+	t.Helper()
+	findings := analyze(t, a, pkgpath, dir)
+	wants := collectWants(t, dir)
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func analyze(t *testing.T, a *lint.Analyzer, pkgpath, dir string) []lint.Finding {
+	t.Helper()
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	loader := lint.NewLoader(root)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(loader.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	pkg, err := loader.CheckFiles(pkgpath, files)
+	if err != nil {
+		t.Fatalf("type-checking %s as %s: %v", dir, pkgpath, err)
+	}
+	findings, err := lint.Analyze([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", dir, err)
+	}
+	return findings
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts // want "..." expectations. Multiple quoted
+// patterns on one line each become an expectation for that line.
+func collectWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, pat := range splitQuoted(m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the contents of each double-quoted segment of s.
+// Want patterns in this repo avoid escaped quotes, so a simple scan does.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		s = s[start+1:]
+		end := strings.IndexByte(s, '"')
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end])
+		s = s[end+1:]
+	}
+}

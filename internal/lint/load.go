@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// meta is the subset of `go list -json` output the loader consumes.
+type meta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Loader parses and type-checks packages of the module rooted at Root
+// without any dependency beyond the go tool itself: package metadata comes
+// from `go list -json -deps` and type information from go/types with an
+// importer backed by the same metadata, so everything — including the
+// stdlib — is checked from source and works fully offline.
+type Loader struct {
+	Root string
+	Fset *token.FileSet
+
+	metas    map[string]*meta
+	pkgs     map[string]*types.Package
+	checking map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at root (the directory
+// holding go.mod).
+func NewLoader(root string) *Loader {
+	return &Loader{
+		Root:     root,
+		Fset:     token.NewFileSet(),
+		metas:    make(map[string]*meta),
+		pkgs:     make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// goList runs `go list -e -json -deps args...` at the module root and
+// merges the resulting package metadata into the loader.
+func (l *Loader) goList(args ...string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json", "-deps"}, args...)...)
+	cmd.Dir = l.Root
+	// Pure-Go file lists: the type checker has no preprocessor, and every
+	// package this module touches has a CGO_ENABLED=0 variant.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var listed []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := new(meta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if _, ok := l.metas[m.ImportPath]; !ok {
+			l.metas[m.ImportPath] = m
+		}
+		listed = append(listed, m.ImportPath)
+	}
+	return listed, nil
+}
+
+// Load lists the packages matching patterns, type-checks them (and,
+// transitively, everything they import) and returns them in a stable
+// sorted order ready for Analyze.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// -deps emits dependencies before dependents; checking the module's
+	// own packages in that order lets each root reuse the checked types
+	// of the roots it imports. The result is re-sorted by import path so
+	// analysis order (and therefore output order) is stable.
+	var pkgs []*Package
+	seen := make(map[string]bool)
+	for _, path := range listed {
+		m := l.metas[path]
+		if m.Standard || seen[path] {
+			continue
+		}
+		seen[path] = true
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", path, m.Error.Err)
+		}
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		files, err := l.parse(m, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.CheckFiles(path, files)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func (l *Loader) parse(m *meta, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CheckFiles type-checks the given parsed files as package pkgpath,
+// resolving imports through the loader. It backs both Load and the
+// analysistest harness (which checks testdata trees under synthetic
+// import paths so path-scoped analyzers see realistic packages).
+func (l *Loader) CheckFiles(pkgpath string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgpath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgpath, err)
+	}
+	return &Package{Path: pkgpath, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// importPkg satisfies an import by type-checking the target from source,
+// memoized per loader. Metadata missing from the initial -deps sweep (a
+// testdata-only import, say) is fetched lazily with another go list call.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	m, ok := l.metas[path]
+	if !ok {
+		if _, err := l.goList(path); err != nil {
+			return nil, err
+		}
+		if m, ok = l.metas[path]; !ok {
+			return nil, fmt.Errorf("no metadata for %s", path)
+		}
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("%s: %s", path, m.Error.Err)
+	}
+	files, err := l.parse(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking dependency %s: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// sinkMethods are method names that move bytes or events toward an output:
+// writers, encoders, the bus, and the decision log. Calling one while
+// ranging over a map makes the emitted order follow Go's randomized map
+// iteration, which breaks the byte-identical-output guarantee the goldens
+// and the CI stability diff rely on.
+var sinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Encode":      true,
+	"EncodeToken": true,
+	"Publish":     true,
+	"Send":        true,
+	"Emit":        true,
+	"Append":      true,
+}
+
+// Maporder flags `range` over a map whose body feeds an order-sensitive
+// sink: appending to a slice that is never subsequently sorted, writing to
+// a writer/encoder, fmt printing, string concatenation, channel sends, or
+// publishing bus/decision-log events. The blessed pattern is the one
+// internal/obs/registry.go uses: collect the keys, sort them, then range
+// over the sorted slice.
+func Maporder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc: "flag map iteration whose body emits order-sensitive output (appends never sorted, writers, " +
+			"encoders, bus events); collect and sort the keys first so output never depends on map order",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					list = n.List
+				case *ast.CaseClause:
+					list = n.Body
+				case *ast.CommClause:
+					list = n.Body
+				default:
+					return true
+				}
+				for i, s := range list {
+					rng, ok := s.(*ast.RangeStmt)
+					if !ok || !isMapRange(pass, rng) {
+						continue
+					}
+					checkMapRange(pass, rng, list[i+1:])
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body. rest is the remainder of the
+// enclosing statement list, where a collect-and-sort pattern would place
+// its sort call.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	type appendSink struct {
+		pos    token.Pos
+		target string
+	}
+	var appends []appendSink
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(),
+					"string built up while ranging over a map; concatenation order follows random map "+
+						"iteration — collect and sort the keys first (see internal/obs/registry.go sortedKeys)")
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				appends = append(appends, appendSink{pos: n.Pos(), target: types.ExprString(n.Lhs[i])})
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send while ranging over a map; delivery order follows random map iteration — "+
+					"collect and sort the keys first")
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+				pass.Reportf(n.Pos(),
+					"fmt.%s while ranging over a map; output order follows random map iteration — "+
+						"collect and sort the keys first (see internal/obs/registry.go sortedKeys)", fn.Name())
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sinkMethods[fn.Name()] {
+				pass.Reportf(n.Pos(),
+					"%s call while ranging over a map; emission order follows random map iteration — "+
+						"collect and sort the keys first (see internal/obs/registry.go sortedKeys)", fn.Name())
+			}
+		}
+		return true
+	})
+	if len(appends) == 0 {
+		return
+	}
+	sorted := sortedTargets(pass, rng.Body, rest)
+	for _, ap := range appends {
+		if sorted[ap.target] {
+			continue
+		}
+		pass.Reportf(ap.pos,
+			"append to %s while ranging over a map, and %s is never sorted afterwards; element order "+
+				"follows random map iteration — sort it before use (see internal/obs/registry.go sortedKeys)",
+			ap.target, ap.target)
+	}
+}
+
+// sortedTargets collects the expressions handed to a sort call either
+// inside the range body or later in the enclosing statement list. An
+// append whose destination shows up here is the collect-and-sort idiom.
+func sortedTargets(pass *Pass, body *ast.BlockStmt, rest []ast.Stmt) map[string]bool {
+	sorted := make(map[string]bool)
+	record := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		// Anything in sort or slices counts, and so does a local helper
+		// whose name says it sorts (sortUint64, sortedKeys, ...).
+		isSort := strings.Contains(strings.ToLower(fn.Name()), "sort")
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "sort" {
+			isSort = true
+		}
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			sorted[types.ExprString(arg)] = true
+			// sort.Slice(byName(out), ...)-style wrappers: credit the
+			// wrapped expression too.
+			if inner, ok := arg.(*ast.CallExpr); ok {
+				for _, ia := range inner.Args {
+					sorted[types.ExprString(ia)] = true
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, record)
+	for _, s := range rest {
+		ast.Inspect(s, record)
+	}
+	return sorted
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// calleeFunc resolves a call's target to a *types.Func, or nil for
+// builtins, conversions and indirect calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, lint.Maporder(), "taopt/internal/example", "testdata/maporder")
+}

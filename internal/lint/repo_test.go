@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+)
+
+// TestRepoIsLintClean runs the full taoptvet suite over the real module —
+// the same invocation as the CI step — and demands zero findings, so a
+// change that breaks the determinism or layering contract fails `go test`
+// even before the lint step runs.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	loader := lint.NewLoader(root)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the ./... pattern no longer covers the module", len(pkgs))
+	}
+	findings, err := lint.Analyze(pkgs, lint.Analyzers(lint.DefaultConfig()))
+	if err != nil {
+		t.Fatalf("analyzing: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

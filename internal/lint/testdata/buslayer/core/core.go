@@ -1,0 +1,10 @@
+// Package core is buslayer testdata; the harness checks it under the
+// import path taopt/internal/core. Importing the bus seam is the intended
+// coupling; importing the instance-side device package shortcuts it.
+package core
+
+import (
+	_ "taopt/internal/bus"
+	_ "taopt/internal/device" // want "taopt/internal/core must not import taopt/internal/device"
+	_ "taopt/internal/sim"
+)

@@ -1,0 +1,11 @@
+// Package free is buslayer testdata; the harness checks it under the
+// import path taopt/internal/harness, which has no layer rule — the top
+// of the stack may import anything, so none of these imports are flagged.
+package free
+
+import (
+	_ "taopt/internal/bus"
+	_ "taopt/internal/device"
+	_ "taopt/internal/metrics"
+	_ "taopt/internal/obs"
+)

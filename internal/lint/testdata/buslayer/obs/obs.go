@@ -1,0 +1,10 @@
+// Package obs is buslayer testdata; the harness checks it under the
+// import path taopt/internal/obs. obs is a leaf every layer reports into:
+// base types are fine, anything above them is a violation.
+package obs
+
+import (
+	_ "taopt/internal/metrics" // want "taopt/internal/obs must not import taopt/internal/metrics"
+	_ "taopt/internal/sim"
+	_ "taopt/internal/ui"
+)

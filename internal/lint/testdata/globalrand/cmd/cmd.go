@@ -1,0 +1,10 @@
+// Package cmd is globalrand testdata; the harness checks it under the
+// import path taopt/cmd/gen, outside the deterministic trees, where
+// math/rand is legal.
+package cmd
+
+import "math/rand"
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

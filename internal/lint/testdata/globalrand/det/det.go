@@ -1,0 +1,31 @@
+// Package det is globalrand testdata; the harness checks it under the
+// synthetic import path taopt/internal/core, a deterministic package.
+package det
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+func roll() int {
+	return rand.Intn(6) // want "math/rand.Intn in deterministic package"
+}
+
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want "math/rand.New in" "math/rand.NewSource in"
+}
+
+func rollV2() int {
+	return v2.IntN(6) // want "math/rand/v2.IntN in deterministic package"
+}
+
+// Consuming a generator someone handed you is fine; the violation is
+// minting randomness outside the sim seed tree.
+func consume(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+func justified() int {
+	//lint:allow globalrand "jitter for an operator-facing spinner; never feeds run results"
+	return rand.Intn(6)
+}

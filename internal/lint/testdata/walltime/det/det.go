@@ -1,0 +1,33 @@
+// Package det is walltime testdata; the harness checks it under the
+// synthetic import path taopt/internal/core, a deterministic package.
+package det
+
+import "time"
+
+func run() {
+	start := time.Now()          // want "wall-clock time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+	_ = time.Since(start)        // want "wall-clock time.Since"
+	<-time.After(time.Second)    // want "wall-clock time.After"
+	_ = time.Until(start)        // want "wall-clock time.Until"
+}
+
+// Duration arithmetic, constants and formatting never touch the wall
+// clock, so virtual-time code keeps using them freely.
+func durationMathIsFine(d time.Duration) time.Duration {
+	return 3*time.Second + d.Round(time.Millisecond)
+}
+
+func justified() time.Time {
+	//lint:allow walltime "operator-facing banner timestamp; never feeds run results"
+	return time.Now()
+}
+
+func justifiedSameLine() time.Time {
+	return time.Now() //lint:allow walltime "operator-facing banner timestamp; never feeds run results"
+}
+
+func unjustified() time.Time {
+	//lint:allow walltime // want "malformed or unjustified"
+	return time.Now() // want "wall-clock time.Now"
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walltimeForbidden lists the package-level functions of time that read or
+// wait on the process wall clock. Types (time.Duration), constants
+// (time.Second) and formatting helpers stay legal: deterministic packages
+// use them for virtual-time arithmetic.
+var walltimeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime forbids wall-clock time in deterministic packages. Every result
+// in this reproduction is a pure function of (seed, config); a single
+// time.Now() in the run path silently breaks run-to-run comparability, so
+// deterministic packages must take time from the sim.Clock virtual clock.
+func Walltime(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "walltime",
+		Doc: "forbid wall-clock time (time.Now, time.Sleep, ...) in deterministic packages; " +
+			"runs are driven by the sim.Clock virtual clock so that results are a pure function of the seed",
+	}
+	a.Run = func(pass *Pass) error {
+		path := pass.Pkg.Path()
+		if !cfg.deterministic(path) || matchesAny(path, cfg.WalltimeAllowed) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if walltimeForbidden[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"wall-clock time.%s in deterministic package %s; use the sim.Clock virtual clock "+
+							"(or annotate //lint:allow walltime \"why\" if wall time is genuinely required)",
+						fn.Name(), path)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

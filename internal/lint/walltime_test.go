@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestWalltimeFlagsDeterministicPackage(t *testing.T) {
+	linttest.Run(t, lint.Walltime(lint.DefaultConfig()), "taopt/internal/core", "testdata/walltime/det")
+}
+
+func TestWalltimeAllowsExemptPackage(t *testing.T) {
+	// Same kind of code, checked under the exempted cli path: no findings.
+	linttest.Run(t, lint.Walltime(lint.DefaultConfig()), "taopt/internal/cli", "testdata/walltime/cli")
+}
+
+func TestWalltimeIgnoresNonDeterministicTree(t *testing.T) {
+	linttest.Run(t, lint.Walltime(lint.DefaultConfig()), "taopt/cmd/taopt", "testdata/walltime/cli")
+}
