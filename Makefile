@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench check
+.PHONY: build test race lint vet bench bench-go fuzz check
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,21 @@ lint:
 vet:
 	$(GO) vet ./...
 
+# bench runs the performance harness (cmd/bench): the fleet campaign grid
+# and the long-trace Observe microbenchmark (incremental SpaceTracker vs
+# the legacy FindSpace rescan), writing the BENCH_fleet.json artifact.
 bench:
+	$(GO) run ./cmd/bench -out BENCH_fleet.json
+
+# bench-go runs every go-test benchmark once — the CI smoke that keeps
+# benchmark code compiling and executing.
+bench-go:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# fuzz gives each go-native fuzz target in internal/core a short
+# coverage-guided run on top of its checked-in seed corpus.
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzFindSpace -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSpaceTracker -fuzztime 10s
 
 check: build vet lint test

@@ -442,3 +442,36 @@ func BenchmarkOfflinePartition(b *testing.B) {
 		graph.OfflinePartition(g, graph.DefaultPartitionOptions())
 	}
 }
+
+// BenchmarkObserveLongTrace measures the analyzer's per-event cost on a long
+// single-instance trace with the window spanning the whole stream — the
+// regression guard for the incremental SpaceTracker rewrite. One op is one
+// Observe call, amortising the periodic analyses; "legacy" is the
+// FindSpace-rescan reference path, "tracked" the incremental one. cmd/bench
+// reports the same scenario (plus alloc figures and the speedup ratio) into
+// BENCH_fleet.json.
+func BenchmarkObserveLongTrace(b *testing.B) {
+	const visits = 10000
+	events, book, err := harness.ObserveStream("Marvel Comics", visits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"legacy", true}, {"tracked", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i += visits {
+				a := harness.NewObserveAnalyzer(book, visits, mode.legacy)
+				for _, ev := range events {
+					a.Observe(ev)
+				}
+			}
+			if b.N < visits {
+				// b.N ops were requested but a full stream always runs; scale
+				// the reported per-op figure accordingly.
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64((b.N+visits-1)/visits*visits), "ns/event")
+			}
+		})
+	}
+}

@@ -1,0 +1,21 @@
+package cli
+
+import "time"
+
+// Stopwatch measures wall-clock elapsed time for the benchmark harness.
+// Wall time is banned everywhere under the determinism contract
+// (DESIGN.md §10) except this package: benchmarks are the one consumer that
+// genuinely needs it, so cmd/bench reads its clock through here rather than
+// importing time itself.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a running stopwatch.
+func NewStopwatch() *Stopwatch { return &Stopwatch{start: time.Now()} }
+
+// Restart rewinds the stopwatch to zero.
+func (s *Stopwatch) Restart() { s.start = time.Now() }
+
+// ElapsedNS returns nanoseconds since the last (re)start.
+func (s *Stopwatch) ElapsedNS() int64 { return time.Since(s.start).Nanoseconds() }

@@ -54,6 +54,12 @@ type AnalyzerConfig struct {
 	// a genuinely settled window — no overlap with the prefix, suffix as
 	// pure as its last-l_min sample — scores well below 0.5.
 	ScoreMax float64
+	// Legacy, when true, analyses by rescanning the visit window with the
+	// reference FindSpace on every run instead of using the incremental
+	// per-instance SpaceTracker. The two paths are byte-identical (the
+	// differential suite holds them equal); legacy exists as the oracle and
+	// for benchmarking the rewrite.
+	Legacy bool
 	// Obs, when non-nil, receives one decision-log event per FindSpace run
 	// that produced a scored split (telemetry; nil costs nothing).
 	Obs *obs.Log
@@ -85,10 +91,18 @@ type Analyzer struct {
 
 	perInstance map[int]*instanceTrace
 	simCache    map[[2]ui.Signature]bool
+	// intern is shared by every instance's SpaceTracker: signatures are
+	// interned once and Matcher verdicts memoised once, fleet-trace-wide.
+	intern *internTable
 }
 
+// instanceTrace is the whole of an instance's analysis state. Keeping every
+// per-instance piece in the one map entry means ResetInstance cannot forget
+// one of them: deleting the entry drops the visit window, the tracker and
+// the report cadence together.
 type instanceTrace struct {
-	visits      []ScreenVisit
+	visits      []ScreenVisit // legacy (FindSpace-rescan) mode only
+	tracker     *SpaceTracker // incremental mode only
 	sinceReport int
 }
 
@@ -106,12 +120,14 @@ func NewAnalyzer(cfg AnalyzerConfig, book *trace.Book) *Analyzer {
 	if cfg.ScoreMax == 0 {
 		cfg.ScoreMax = 0.5
 	}
-	return &Analyzer{
+	a := &Analyzer{
 		cfg:         cfg,
 		book:        book,
 		perInstance: make(map[int]*instanceTrace),
 		simCache:    make(map[[2]ui.Signature]bool),
 	}
+	a.intern = newInternTable(a)
+	return a
 }
 
 // Match implements Matcher with the cached tree similarity of canonical
@@ -146,13 +162,21 @@ func (a *Analyzer) Observe(ev trace.Event) (Candidate, bool) {
 	it, ok := a.perInstance[ev.Instance]
 	if !ok {
 		it = &instanceTrace{}
+		if !a.cfg.Legacy {
+			it.tracker = newSpaceTrackerShared(a.intern, a.cfg.LMin)
+		}
 		a.perInstance[ev.Instance] = it
 	}
-	it.visits = append(it.visits, ScreenVisit{Sig: ev.To, At: ev.At})
-	if len(it.visits) > a.cfg.WindowCap {
-		// Keep the suffix; FindSpace only needs the recent window.
-		drop := len(it.visits) - a.cfg.WindowCap
-		it.visits = append(it.visits[:0:0], it.visits[drop:]...)
+	if a.cfg.Legacy {
+		it.visits = append(it.visits, ScreenVisit{Sig: ev.To, At: ev.At})
+		if len(it.visits) > a.cfg.WindowCap {
+			// Keep the suffix; FindSpace only needs the recent window.
+			drop := len(it.visits) - a.cfg.WindowCap
+			it.visits = append(it.visits[:0:0], it.visits[drop:]...)
+		}
+	} else {
+		it.tracker.Push(ScreenVisit{Sig: ev.To, At: ev.At})
+		it.tracker.DropTo(a.cfg.WindowCap)
 	}
 	it.sinceReport++
 	if it.sinceReport < a.cfg.AnalyzeEvery {
@@ -160,7 +184,12 @@ func (a *Analyzer) Observe(ev trace.Event) (Candidate, bool) {
 	}
 	it.sinceReport = 0
 
-	res, ok := FindSpace(it.visits, a.cfg.LMin, a)
+	var res FindSpaceResult
+	if a.cfg.Legacy {
+		res, ok = FindSpace(it.visits, a.cfg.LMin, a)
+	} else {
+		res, ok = it.tracker.Analyze()
+	}
 	if !ok {
 		return Candidate{}, false
 	}
@@ -197,7 +226,9 @@ func (a *Analyzer) Observe(ev trace.Event) (Candidate, bool) {
 // ResetInstance clears an instance's analysis window. The coordinator calls
 // it when the instance's current exploration segment was just accepted as a
 // subspace (so the next identification starts fresh) and when an instance is
-// de-allocated.
+// de-allocated. The map entry itself is dropped — retired instance ids must
+// not pin their window, tracker or cadence counter for the campaign's
+// remaining lifetime.
 func (a *Analyzer) ResetInstance(id int) {
 	delete(a.perInstance, id)
 }
@@ -208,5 +239,12 @@ func (a *Analyzer) TraceLen(id int) int {
 	if !ok {
 		return 0
 	}
+	if it.tracker != nil {
+		return it.tracker.Len()
+	}
 	return len(it.visits)
 }
+
+// instanceStates returns how many instances currently hold analysis state
+// (testing aid: the reset-instance tests assert retirement leaks nothing).
+func (a *Analyzer) instanceStates() int { return len(a.perInstance) }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"taopt/internal/sim"
+	"taopt/internal/ui"
+)
+
+// Seed corpus scenarios, mirrored in testdata/fuzz: a clean region switch
+// and a dwell-heavy trace with repeated timestamps.
+var (
+	seedSwitch = "\x03" + strings.Repeat("A\x01", 30) + strings.Repeat("Z\x01", 30)
+	seedDwell  = "\x15" + strings.Repeat("A\x00B\x00C\x04", 15)
+)
+
+// decodeFuzzTrace turns a fuzzer byte string into an analysis scenario: the
+// first byte picks l_min and the matcher, the rest encodes (screen, dwell)
+// pairs. Dwell may be zero — repeated timestamps, singleton and empty traces
+// are all reachable, which is the point.
+func decodeFuzzTrace(data []byte) ([]ScreenVisit, sim.Duration, Matcher) {
+	var lMin sim.Duration = second
+	var m Matcher = MatchExact{}
+	if len(data) > 0 {
+		lMin = sim.Duration(1+int(data[0]%10)) * second
+		if data[0]&0x10 != 0 {
+			m = fuzzMatcher{}
+		}
+		data = data[1:]
+	}
+	var visits []ScreenVisit
+	var at sim.Duration
+	for i := 0; i+1 < len(data); i += 2 {
+		at += sim.Duration(data[i+1]%5) * second
+		visits = append(visits, ScreenVisit{Sig: sigOf(int(data[i] % 12)), At: at})
+	}
+	return visits, lMin, m
+}
+
+// sigOf mirrors mkTrace's token→signature mapping.
+func sigOf(tok int) ui.Signature { return ui.Signature(tok + 1) }
+
+// FuzzFindSpace checks Algorithm 1's structural invariants over arbitrary
+// visit sequences, and holds the incremental tracker equal to the reference
+// on every input the fuzzer invents.
+func FuzzFindSpace(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\x05A"))
+	f.Add([]byte(seedSwitch))
+	f.Add([]byte(seedDwell))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		visits, lMin, m := decodeFuzzTrace(data)
+		res, ok := FindSpace(visits, lMin, m)
+		if !ok {
+			// Still hold the tracker equal on the no-result path.
+			if _, gotOK := trackerFromVisits(visits, lMin, m).Analyze(); gotOK {
+				t.Fatal("tracker found a result where FindSpace found none")
+			}
+			return
+		}
+		n := len(visits)
+		if res.POut < 1 || res.POut >= n {
+			t.Fatalf("p_out = %d out of range (n=%d)", res.POut, n)
+		}
+		if res.Entry != visits[res.POut].Sig {
+			t.Fatalf("entry %v is not the screen at p_out", res.Entry)
+		}
+		if len(res.Members) == 0 || res.Members[0] != res.Entry {
+			t.Fatalf("members must start with the entry screen: %v", res.Members)
+		}
+		seen := map[uint64]bool{}
+		for _, mem := range res.Members {
+			if seen[uint64(mem)] {
+				t.Fatalf("duplicate member %v", mem)
+			}
+			seen[uint64(mem)] = true
+			found := false
+			for i := res.POut; i < n && !found; i++ {
+				found = visits[i].Sig == mem
+			}
+			if !found {
+				t.Fatalf("member %v not in the suffix", mem)
+			}
+		}
+		if res.Score >= 1 {
+			t.Fatalf("accepted score %v ≥ initial minimum", res.Score)
+		}
+		if want := res.OverlapScore + 2*res.PurityScore - 1; res.Score != want {
+			t.Fatalf("score %v inconsistent with components (%v)", res.Score, want)
+		}
+		if res.OverlapScore < 0 || res.PurityScore <= 0 || res.PurityScore >= 1 {
+			t.Fatalf("component out of range: overlap %v purity %v",
+				res.OverlapScore, res.PurityScore)
+		}
+
+		got, gotOK := trackerFromVisits(visits, lMin, m).Analyze()
+		if !gotOK || !reflect.DeepEqual(got, res) {
+			t.Fatalf("tracker diverged:\n got %+v (%v)\nwant %+v", got, gotOK, res)
+		}
+	})
+}
+
+// FuzzSpaceTracker drives the stateful surface the one-shot fuzz above
+// cannot reach: incremental pushes with window-cap drops and mid-stream
+// resets, comparing the tracker to FindSpace over the mirrored window after
+// every step.
+func FuzzSpaceTracker(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\x05A"))
+	f.Add([]byte(seedSwitch))
+	f.Add([]byte(seedDwell))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		visits, lMin, m := decodeFuzzTrace(data)
+		cap := 3
+		if len(data) > 0 {
+			cap += int(data[0] % 50)
+		}
+		tr := NewSpaceTracker(lMin, m)
+		var window []ScreenVisit
+		for i, v := range visits {
+			// A marker pair resets both representations, as the coordinator
+			// does when it accepts a subspace.
+			if v.Sig == sigOf(11) && i%7 == 0 {
+				tr.Reset()
+				window = window[:0]
+			}
+			tr.Push(v)
+			tr.DropTo(cap)
+			window = append(window, v)
+			if len(window) > cap {
+				window = append(window[:0:0], window[len(window)-cap:]...)
+			}
+			if tr.Len() != len(window) {
+				t.Fatalf("step %d: Len %d vs window %d", i, tr.Len(), len(window))
+			}
+			want, wantOK := FindSpace(window, lMin, m)
+			got, gotOK := tr.Analyze()
+			if gotOK != wantOK {
+				t.Fatalf("step %d: ok %v, want %v", i, gotOK, wantOK)
+			}
+			if gotOK && !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: diverged\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"taopt/internal/apps"
+	"taopt/internal/core"
 	"taopt/internal/coverage"
 	"taopt/internal/faults"
 	"taopt/internal/graph"
@@ -47,6 +48,9 @@ type CellSummary struct {
 	// Budgets.
 	WallUsed    sim.Duration
 	MachineUsed sim.Duration
+	// Events is the run's fired-scheduler-event count (the benchmark
+	// harness's virtual-work measure).
+	Events uint64
 
 	// TaOPT-only.
 	Subspaces int
@@ -79,6 +83,10 @@ type CampaignConfig struct {
 	// every run of the campaign (chaos campaigns); each cell derives its
 	// own deterministic fault plan from its cell seed.
 	Faults *faults.Config
+	// CoreConfig optionally overrides TaOPT's coordinator configuration for
+	// every run of the campaign (ablations and the legacy-analyzer
+	// differential); nil uses the mode's defaults.
+	CoreConfig *core.Config
 	// Workers bounds the goroutine pool Prefetch computes missing cells on.
 	// 0 or 1 runs serially; results are identical either way — each cell's
 	// seed derives from its key alone, and Prefetch merges in deterministic
@@ -191,13 +199,14 @@ func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
 		return nil, err
 	}
 	res, err := Run(RunConfig{
-		App:       aut,
-		Tool:      key.Tool,
-		Setting:   key.Setting,
-		Instances: c.cfg.Instances,
-		Duration:  c.cfg.Duration,
-		Seed:      c.cellSeed(key),
-		Faults:    c.cfg.Faults,
+		App:        aut,
+		Tool:       key.Tool,
+		Setting:    key.Setting,
+		Instances:  c.cfg.Instances,
+		Duration:   c.cfg.Duration,
+		Seed:       c.cellSeed(key),
+		CoreConfig: c.cfg.CoreConfig,
+		Faults:     c.cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -275,6 +284,7 @@ func summarize(key CellKey, res *RunResult, instances int) *CellSummary {
 		UIOccAverage:  res.UIOccurrenceAverage(),
 		WallUsed:      res.WallUsed,
 		MachineUsed:   res.MachineUsed,
+		Events:        res.Events,
 		Subspaces:     len(res.Subspaces),
 	}
 	s.FailedInstances = res.FailedInstances

@@ -165,6 +165,10 @@ type RunResult struct {
 	// Telemetry holds the run's decision log and metrics registry when
 	// RunConfig.Telemetry was set; nil otherwise.
 	Telemetry *obs.Telemetry
+	// Events is the number of scheduler events the run fired — the
+	// deterministic work measure behind the bench harness's
+	// virtual-events-per-second figure.
+	Events uint64
 }
 
 // InstanceSets returns the per-instance covered-method sets.
@@ -612,6 +616,7 @@ func (r *runner) result() *RunResult {
 		MachineUsed:   r.farm.MachineTime(r.sched.Now()),
 		UIOccurrences: r.occurrences,
 		Book:          r.book,
+		Events:        r.sched.Processed(),
 	}
 	for _, id := range r.order {
 		a := r.actors[id]

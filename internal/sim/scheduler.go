@@ -44,10 +44,11 @@ func (h *eventHeap) Pop() any {
 // for concurrent use; the whole simulation is single-threaded by design so
 // that runs are exactly reproducible.
 type Scheduler struct {
-	clock Clock
-	heap  eventHeap
-	seq   uint64
-	halt  bool
+	clock     Clock
+	heap      eventHeap
+	seq       uint64
+	halt      bool
+	processed uint64
 }
 
 // NewScheduler returns an empty scheduler at virtual time zero.
@@ -77,6 +78,12 @@ func (s *Scheduler) Halt() { s.halt = true }
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
+// Processed returns the number of events fired since the scheduler was
+// created. It is the denominator of the benchmark harness's
+// virtual-events-per-second figure: a deterministic measure of how much
+// simulated work a run performed, independent of wall time.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
 // Run fires events in order until the queue is empty, the clock passes
 // deadline (events due strictly after deadline are not fired), or Halt is
 // called. It returns the virtual time at which the loop stopped.
@@ -92,6 +99,7 @@ func (s *Scheduler) Run(deadline Duration) Duration {
 		}
 		heap.Pop(&s.heap)
 		s.clock.advance(next.at)
+		s.processed++
 		next.ev.Fire(s)
 	}
 	if s.halt {

@@ -303,3 +303,23 @@ func TestRNGDurationBetween(t *testing.T) {
 		t.Fatalf("degenerate range: %v", d)
 	}
 }
+
+func TestSchedulerProcessedCounts(t *testing.T) {
+	s := NewScheduler()
+	if s.Processed() != 0 {
+		t.Fatalf("fresh scheduler Processed = %d", s.Processed())
+	}
+	s.At(10, EventFunc(func(sc *Scheduler) { sc.After(5, EventFunc(func(*Scheduler) {})) }))
+	s.At(20, EventFunc(func(*Scheduler) {}))
+	s.At(90, EventFunc(func(*Scheduler) {})) // past deadline: never fires
+	s.Run(50)
+	if got := s.Processed(); got != 3 {
+		t.Fatalf("Processed = %d, want 3 (incl. the rescheduled one, excl. past-deadline)", got)
+	}
+	// A second Run continues the count rather than resetting it.
+	s.At(60, EventFunc(func(*Scheduler) {}))
+	s.Run(0)
+	if got := s.Processed(); got != 5 {
+		t.Fatalf("Processed after second Run = %d, want 5", got)
+	}
+}

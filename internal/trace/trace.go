@@ -79,6 +79,15 @@ func (l *Log) Events() []Event { return l.events }
 // Len returns the number of events.
 func (l *Log) Len() int { return len(l.events) }
 
+// Replay invokes fn for every recorded event in order. It is how offline
+// consumers (the differential analysis suite, the benchmark harness) feed a
+// captured trace back through an analyzer without copying the log.
+func (l *Log) Replay(fn func(Event)) {
+	for _, e := range l.events {
+		fn(e)
+	}
+}
+
 // Screens returns the sequence of visited abstract screens with timestamps —
 // the (S, T) input of Algorithm 1.
 func (l *Log) Screens() ([]ui.Signature, []sim.Duration) {

@@ -3,6 +3,7 @@ package trace
 import (
 	"testing"
 
+	"taopt/internal/sim"
 	"taopt/internal/ui"
 )
 
@@ -74,4 +75,23 @@ func TestBookClonesExemplar(t *testing.T) {
 	if b.Lookup(sig).Root.Children[0].ResourceID == "mutated" {
 		t.Fatal("Book must clone observed screens")
 	}
+}
+
+func TestLogReplay(t *testing.T) {
+	var l Log
+	for i := 1; i <= 4; i++ {
+		l.Append(Event{At: sim.Duration(i), To: ui.Signature(i)})
+	}
+	var got []ui.Signature
+	l.Replay(func(e Event) { got = append(got, e.To) })
+	if len(got) != 4 {
+		t.Fatalf("Replay visited %d events", len(got))
+	}
+	for i, sig := range got {
+		if sig != ui.Signature(i+1) {
+			t.Fatalf("Replay out of order: %v", got)
+		}
+	}
+	var empty Log
+	empty.Replay(func(Event) { t.Fatal("empty log must not invoke fn") })
 }
