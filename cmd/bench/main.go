@@ -4,10 +4,15 @@
 // SpaceTracker vs the legacy FindSpace rescan), and writes the results as a
 // JSON artifact — the BENCH_fleet.json trajectory tracked across PRs.
 //
+// The artifact is a trajectory, not a snapshot: each run appends (or, for
+// the same revision, replaces) one entry keyed by the git SHA, so the
+// per-PR performance history accumulates in a single committed file.
+//
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_fleet.json          # full measurement
 //	go run ./cmd/bench -smoke -out /tmp/bench.json    # CI smoke mode
+//	go run ./cmd/bench -sha pr-6 -out BENCH_fleet.json
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 
 	"taopt/internal/cli"
 	"taopt/internal/harness"
@@ -49,6 +56,18 @@ type report struct {
 	Fleet          []fleetStats `json:"fleet"`
 }
 
+// entry is one revision's measurement in the trajectory.
+type entry struct {
+	SHA    string `json:"sha"`
+	Report report `json:"report"`
+}
+
+// trajectory is the artifact's on-disk shape: the accumulated per-revision
+// history, newest last.
+type trajectory struct {
+	Entries []entry `json:"entries"`
+}
+
 var fatalf = cli.Fatalf("bench")
 
 func main() {
@@ -56,7 +75,11 @@ func main() {
 	smoke := flag.Bool("smoke", false, "CI smoke mode: fewer visits, shorter campaigns, one iteration")
 	visits := flag.Int("visits", 10000, "long-trace Observe benchmark length")
 	appName := flag.String("app", "Marvel Comics", "app whose screens back the Observe benchmark")
+	sha := flag.String("sha", "", "trajectory key for this measurement (default: git rev-parse --short HEAD)")
 	flag.Parse()
+	if *sha == "" {
+		*sha = headSHA()
+	}
 
 	iters, minutes := 3, sim.Duration(12*60e9)
 	if *smoke {
@@ -89,14 +112,59 @@ func main() {
 			fs.Workers, fs.Cells, float64(fs.WallNS)/1e9, fs.VirtualEventsPerSec)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	traj := loadTrajectory(*out)
+	traj.upsert(entry{SHA: *sha, Report: rep})
+	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s (%d entries, this one keyed %q)\n", *out, len(traj.Entries), *sha)
+}
+
+// headSHA asks git for the current revision; outside a repository the
+// measurement is still keyed, just not usefully.
+func headSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// loadTrajectory reads the existing artifact. A pre-trajectory file (one
+// bare report object, the PR-5 format) is wrapped as its oldest entry so
+// history is preserved rather than clobbered.
+func loadTrajectory(path string) *trajectory {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return &trajectory{}
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err == nil && traj.Entries != nil {
+		return &traj
+	}
+	var legacy report
+	if err := json.Unmarshal(data, &legacy); err == nil && legacy.App != "" {
+		fmt.Fprintf(os.Stderr, "wrapping legacy single-report artifact as the oldest trajectory entry\n")
+		return &trajectory{Entries: []entry{{SHA: "pre-trajectory", Report: legacy}}}
+	}
+	fatalf("%s exists but is neither a trajectory nor a legacy report; refusing to overwrite", path)
+	return nil
+}
+
+// upsert appends the entry, or replaces the previous measurement of the
+// same revision (re-running on a dirty tree refines, not duplicates).
+func (t *trajectory) upsert(e entry) {
+	for i := range t.Entries {
+		if t.Entries[i].SHA == e.SHA {
+			t.Entries[i] = e
+			return
+		}
+	}
+	t.Entries = append(t.Entries, e)
 }
 
 // measureObserve streams the event sequence through a fresh analyzer iters

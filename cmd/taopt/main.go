@@ -7,6 +7,7 @@
 //	taopt -app Zedge -tool ape -setting taopt-duration -duration 60
 //	taopt -app demo -tool monkey -setting baseline
 //	taopt -app Zedge -tool ape -setting taopt-duration -faults 0.2
+//	taopt -app Zedge -tool ape -setting taopt-duration -transport wire -wirelog run.wirelog
 //	taopt -list
 package main
 
@@ -42,6 +43,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		stagMin   = flag.Float64("stagnation", 0, "override stagnation window in minutes (0 = paper default)")
 		faultRate = flag.Float64("faults", 0, "inject device-farm failures at this instance-failure rate (e.g. 0.2)")
+		transport = flag.String("transport", "inline", "coordination transport: inline | wire (results are byte-identical)")
+		wirelog   = flag.String("wirelog", "", "record the full coordination message log to this file (replay it with tracetool wirelog)")
 		exportTo  = flag.String("export", "", "write the full run (traces, crashes, subspaces) as JSON to this file")
 		telemetry = flag.Bool("telemetry", false, "collect the coordinator's decision log and run metrics; prints a digest and adds the export's telemetry block")
 		decisions = flag.String("decisions", "", "write the decision log as JSONL to this file (implies -telemetry)")
@@ -109,6 +112,21 @@ func main() {
 		fc := faults.DefaultConfig(*faultRate)
 		cfg.Faults = &fc
 	}
+	switch *transport {
+	case "inline":
+	case "wire":
+		cfg.Transport = harness.TransportWire
+	default:
+		fatalf("unknown transport %q (want inline or wire)", *transport)
+	}
+	var wlog *os.File
+	if *wirelog != "" {
+		var err error
+		if wlog, err = os.Create(*wirelog); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.WireLog = wlog
+	}
 	if *stagMin > 0 {
 		mode := core.DurationConstrained
 		if st == harness.TaOPTResource {
@@ -121,6 +139,12 @@ func main() {
 	res, err := harness.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wire log:       %s\n", *wirelog)
 	}
 
 	if *exportTo != "" {
@@ -182,6 +206,10 @@ func main() {
 	}
 	if res.CoordinatorStats != nil {
 		fmt.Printf("coordinator:    %+v\n", *res.CoordinatorStats)
+	}
+	if res.Wire != nil {
+		fmt.Printf("wire frames:    %d up / %d down (%d + %d bytes, %d timeouts)\n",
+			res.Wire.FramesUp, res.Wire.FramesDown, res.Wire.BytesUp, res.Wire.BytesDown, res.Wire.Timeouts)
 	}
 	if res.Transport.Injected() > 0 {
 		fmt.Printf("transport:      %+v\n", res.Transport)

@@ -8,12 +8,19 @@
 // v3, cmd/taopt -telemetry -export) and cross-checks it against the run's
 // recorded outcome and rebuilt transition graph.
 //
+// The wirelog subcommand works on recorded coordination message logs
+// (cmd/taopt -wirelog): dump the frame stream, diff two logs, or replay a
+// log into the run's byte-identical export without re-running any tool.
+//
 // Usage:
 //
 //	taopt -app Zedge -tool ape -setting baseline -export run.json
 //	tracetool run.json
 //	tracetool -min-coupling 0.12 run.json
 //	tracetool decisions run.json
+//	tracetool wirelog run.wirelog
+//	tracetool wirelog a.wirelog b.wirelog
+//	tracetool wirelog -replay -replay-out replayed.json run.wirelog
 package main
 
 import (
@@ -39,12 +46,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if flag.NArg() >= 1 && flag.Arg(0) == "wirelog" {
+		wirelogMain(flag.Args()[1:])
+		return
+	}
 	path := flag.Arg(0)
 	subcommand := ""
 	if flag.NArg() == 2 && flag.Arg(0) == "decisions" {
 		subcommand, path = "decisions", flag.Arg(1)
 	} else if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] [decisions] <run.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] [decisions|wirelog] <run.json|run.wirelog>")
 		os.Exit(2)
 	}
 

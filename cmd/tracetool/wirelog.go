@@ -1,0 +1,126 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"taopt/internal/bus/wire"
+	"taopt/internal/export"
+)
+
+// wirelogMain implements the wirelog subcommand: dump a recorded
+// coordination message log, diff two logs frame by frame, or replay a log
+// into the run's export without re-running any tool decision logic.
+//
+//	tracetool wirelog run.wirelog
+//	tracetool wirelog a.wirelog b.wirelog
+//	tracetool wirelog -replay run.wirelog
+//	tracetool wirelog -replay-out run.json run.wirelog
+func wirelogMain(args []string) {
+	fs := flag.NewFlagSet("tracetool wirelog", flag.ExitOnError)
+	replay := fs.Bool("replay", false, "replay the log and print the SHA-256 of the reproduced export")
+	replayOut := fs.String("replay-out", "", "replay the log and write the reproduced export JSON to this file")
+	fs.Parse(args)
+
+	switch {
+	case *replay || *replayOut != "":
+		if fs.NArg() != 1 {
+			fatalf("usage: tracetool wirelog [-replay] [-replay-out run.json] <run.wirelog>")
+		}
+		replayLog(fs.Arg(0), *replayOut)
+	case fs.NArg() == 1:
+		dumpLog(fs.Arg(0))
+	case fs.NArg() == 2:
+		diffLogs(fs.Arg(0), fs.Arg(1))
+	default:
+		fatalf("usage: tracetool wirelog [-replay] [-replay-out run.json] <run.wirelog> [other.wirelog]")
+	}
+}
+
+func readWireLog(path string) *wire.Log {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	log, err := wire.ReadLog(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return log
+}
+
+func dumpLog(path string) {
+	log := readWireLog(path)
+	h := log.Header
+	fmt.Printf("wire log:  %s\n", path)
+	fmt.Printf("run:       %s / %s / %s (seed %d, %d instances, %d devices)\n",
+		h.App, h.Tool, h.Setting, h.Seed, h.Instances, h.MaxDevices)
+	fmt.Printf("faults:    %v  telemetry: %v  core-override: %v\n", h.FaultsEnabled, h.Telemetry, h.CoreOverride)
+	fmt.Printf("frames:    %d\n\n", len(log.Frames))
+	for _, f := range log.Frames {
+		fmt.Println(f)
+	}
+}
+
+func diffLogs(pathA, pathB string) {
+	a, b := readWireLog(pathA), readWireLog(pathB)
+	if a.Header != b.Header {
+		fmt.Printf("headers differ:\n- %+v\n+ %+v\n", a.Header, b.Header)
+		os.Exit(1)
+	}
+	n := len(a.Frames)
+	if len(b.Frames) < n {
+		n = len(b.Frames)
+	}
+	for i := 0; i < n; i++ {
+		if a.Frames[i].String() != b.Frames[i].String() {
+			fmt.Printf("first divergence at frame %d:\n- %s\n+ %s\n", i, a.Frames[i], b.Frames[i])
+			os.Exit(1)
+		}
+	}
+	if len(a.Frames) != len(b.Frames) {
+		fmt.Printf("logs agree for %d frames, then lengths differ: %d vs %d\n", n, len(a.Frames), len(b.Frames))
+		os.Exit(1)
+	}
+	fmt.Printf("logs identical: %d frames\n", n)
+}
+
+func replayLog(path, outPath string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	run, decisions, err := export.ReplayWireLog(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	sum := sha256.New()
+	if err := run.Write(sum); err != nil {
+		fatalf("serialising replayed export: %v", err)
+	}
+	fmt.Printf("replayed:  %s / %s / %s (seed %d)\n", run.App, run.Tool, run.Setting, run.Seed)
+	fmt.Printf("coverage:  %d methods, %d unique crashes, %d instances, %d subspaces\n",
+		run.Coverage, run.UniqueCrashes, len(run.Instances), len(run.Subspaces))
+	fmt.Printf("decisions: %d re-derived\n", decisions.Len())
+	fmt.Printf("export sha256: %s\n", hex.EncodeToString(sum.Sum(nil)))
+
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := run.Write(out); err != nil {
+			fatalf("writing replayed export: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("replayed export written to %s\n", outPath)
+	}
+}

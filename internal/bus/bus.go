@@ -95,8 +95,9 @@ type Executor interface {
 // Stats is a transport's delivery accounting. Published counts trace events
 // handed to the transport; Delivered counts those that reached subscribers
 // (the difference is injected drops); Commands counts executor commands
-// carried. The fault counters mirror the decorating plan's injections and
-// stay zero on an undecorated transport.
+// *attempted* — every Send, whether or not it succeeded. The fault counters
+// mirror the decorating plan's injections and stay zero on an undecorated
+// transport.
 type Stats struct {
 	Published int
 	Delivered int
@@ -105,12 +106,19 @@ type Stats struct {
 	// ordinal). An array, not a map, so Stats stays comparable — determinism
 	// tests compare whole Stats values with ==.
 	ByKind [NumCommandKinds]int
+	// CommandFailures counts attempted commands whose reply carried an
+	// error: unbound transport, farm saturation, injected outage or loss.
+	// Commands - CommandFailures is the delivered-command count.
+	CommandFailures int
 
 	Dropped       int
 	Delayed       int
 	Deaths        int
 	Hangs         int
 	AllocFailures int
+	// LostCommands counts downstream commands the fault plan swallowed
+	// (reported to the sender as a timeout, never reaching the executor).
+	LostCommands int
 }
 
 // KindCount returns the number of carried commands of one kind.
@@ -124,7 +132,7 @@ func (s Stats) KindCount(k CommandKind) int {
 // Injected totals the injected faults the transport carried (the decorated
 // equivalent of faults.Stats.Total).
 func (s Stats) Injected() int {
-	return s.Dropped + s.Delayed + s.Deaths + s.Hangs + s.AllocFailures
+	return s.Dropped + s.Delayed + s.Deaths + s.Hangs + s.AllocFailures + s.LostCommands
 }
 
 // Transport carries both directions of the coordination protocol plus its
@@ -153,6 +161,20 @@ var ErrNotBound = errors.New("bus: no executor bound")
 // wrapped errors from either side.
 var ErrFarmBusy = device.ErrFarmBusy
 
+// ErrTimeout is the retryable command-timeout sentinel: the transport gave
+// up waiting for a reply within its command timeout (or the fault plan
+// swallowed the command, which the sender cannot distinguish from a slow
+// reply — loss reports as timeout, not as silence).
+var ErrTimeout = errors.New("bus: command timed out")
+
+// Retryable reports whether a command failure is transient and worth
+// re-issuing: the farm was momentarily saturated, or the transport timed
+// out waiting for a reply. Everything else (unbound transport, unknown
+// instance, config errors) is permanent.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrFarmBusy) || errors.Is(err, ErrTimeout)
+}
+
 // Inline is the synchronous in-process transport: events and commands are
 // delivered immediately, in order, with no loss — the fabric of a fault-free
 // simulated run.
@@ -180,16 +202,24 @@ func (t *Inline) Subscribe(fn func(ev trace.Event)) { t.subs = append(t.subs, fn
 // Bind implements Transport.
 func (t *Inline) Bind(ex Executor) { t.ex = ex }
 
-// Send implements Transport.
+// Send implements Transport. Every attempt is counted — Commands/ByKind
+// record what the coordinator asked for; CommandFailures records which of
+// those attempts came back with an error (unbound transport included), so
+// attempted and delivered commands are never conflated.
 func (t *Inline) Send(cmd Command) Reply {
-	if t.ex == nil {
-		return Reply{Err: ErrNotBound}
-	}
 	t.stats.Commands++
 	if cmd.Kind >= 0 && int(cmd.Kind) < NumCommandKinds {
 		t.stats.ByKind[cmd.Kind]++
 	}
-	return t.ex.Exec(cmd)
+	if t.ex == nil {
+		t.stats.CommandFailures++
+		return Reply{Err: ErrNotBound}
+	}
+	rep := t.ex.Exec(cmd)
+	if rep.Err != nil {
+		t.stats.CommandFailures++
+	}
+	return rep
 }
 
 // Stats implements Transport.

@@ -64,8 +64,13 @@ func TestInlineSendRequiresBind(t *testing.T) {
 	if len(ex.cmds) != 2 || ex.cmds[1].Kind != BlockMember {
 		t.Fatalf("executor saw %+v", ex.cmds)
 	}
-	if st := tr.Stats(); st.Commands != 2 {
-		t.Fatalf("Commands = %d, want 2", st.Commands)
+	// All three sends were attempts; only the unbound one failed.
+	st := tr.Stats()
+	if st.Commands != 3 {
+		t.Fatalf("Commands = %d, want 3 (attempts, not deliveries)", st.Commands)
+	}
+	if st.CommandFailures != 1 {
+		t.Fatalf("CommandFailures = %d, want 1", st.CommandFailures)
 	}
 }
 
@@ -175,5 +180,167 @@ func TestWithFaultsSchedulesInstanceFate(t *testing.T) {
 	}
 	if st := tr.Stats(); st.Deaths != 1 {
 		t.Fatalf("stats = %+v, want 1 death", st)
+	}
+}
+
+// TestStatsInjectedAccounting drives combined fault plans through the
+// decorated transport and pins the Injected() identity and the per-kind
+// command mix under each mix. Every injected fault must land in exactly one
+// counter, and every command attempt — delivered, refused or lost — in
+// exactly one ByKind bucket.
+func TestStatsInjectedAccounting(t *testing.T) {
+	second := sim.Duration(1e9)
+	type outcome struct {
+		st   Stats
+		seen int
+	}
+	run := func(cfg faults.Config, seed int64) outcome {
+		sched := sim.NewScheduler()
+		tr := WithFaults(NewInline(), faults.PlanFor(&cfg, sim.NewRNG(seed)), sched)
+		ex := &execRecorder{}
+		tr.Bind(ex)
+		seen := 0
+		tr.Subscribe(func(trace.Event) { seen++ })
+		// A fixed workload: allocations (some doomed to fates), block
+		// commands (some doomed to loss), deallocations (exempt from loss)
+		// and a stream of trace events (some dropped, some delayed).
+		var allocated []int
+		for i := 0; i < 12; i++ {
+			if rep := tr.Send(Command{Kind: Allocate}); rep.Err == nil {
+				allocated = append(allocated, rep.Instance)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			tr.Send(Command{Kind: BlockWidget, Instance: 1})
+			tr.Send(Command{Kind: BlockMember, Instance: 2})
+		}
+		for i := 0; i < 40; i++ {
+			tr.Publish(trace.Event{Instance: i})
+		}
+		for _, id := range allocated {
+			tr.Send(Command{Kind: Deallocate, Instance: id})
+		}
+		sched.Run(0) // flush delayed deliveries and scheduled fates
+		return outcome{st: tr.Stats(), seen: seen}
+	}
+
+	cases := []struct {
+		name string
+		cfg  faults.Config
+		want func(t *testing.T, o outcome)
+	}{
+		{
+			name: "fault-free",
+			cfg:  faults.Config{},
+			want: func(t *testing.T, o outcome) {
+				if o.st.Injected() != 0 || o.st.CommandFailures != 0 {
+					t.Fatalf("clean plan injected faults: %+v", o.st)
+				}
+				if o.seen != 40 || o.st.Delivered != 40 {
+					t.Fatalf("delivered %d/%d events", o.seen, o.st.Delivered)
+				}
+			},
+		},
+		{
+			name: "trace drop and delay",
+			cfg:  faults.Config{TraceDropRate: 0.4, TraceDelayRate: 0.5, TraceDelayMax: 3 * second},
+			want: func(t *testing.T, o outcome) {
+				if o.st.Dropped == 0 || o.st.Delayed == 0 {
+					t.Fatalf("mix drew no drops or no delays: %+v", o.st)
+				}
+				if o.st.Delivered != 40-o.st.Dropped || o.seen != o.st.Delivered {
+					t.Fatalf("delivery accounting: %+v, saw %d", o.st, o.seen)
+				}
+			},
+		},
+		{
+			name: "allocation outage",
+			cfg:  faults.Config{AllocFailRate: 0.5, AllocOutage: 30 * second},
+			want: func(t *testing.T, o outcome) {
+				if o.st.AllocFailures == 0 {
+					t.Fatalf("no outage drawn: %+v", o.st)
+				}
+				if o.st.CommandFailures != o.st.AllocFailures {
+					t.Fatalf("every refused allocation is a failed attempt: %+v", o.st)
+				}
+				if o.st.KindCount(Allocate) != 12 {
+					t.Fatalf("refused allocations must still count as attempts: %+v", o.st.ByKind)
+				}
+			},
+		},
+		{
+			name: "instance fates",
+			cfg:  faults.Config{FailureRate: 1, HangFraction: 0.5, MinLife: 2 * second, MaxLife: 8 * second},
+			want: func(t *testing.T, o outcome) {
+				if o.st.Deaths == 0 || o.st.Hangs == 0 {
+					t.Fatalf("fate mix drew no deaths or no hangs: %+v", o.st)
+				}
+				if o.st.Deaths+o.st.Hangs != 12 {
+					t.Fatalf("every allocation was doomed: %+v", o.st)
+				}
+				if o.st.KindCount(Kill) != o.st.Deaths || o.st.KindCount(Hang) != o.st.Hangs {
+					t.Fatalf("fates travel as commands: %+v vs ByKind %v", o.st, o.st.ByKind)
+				}
+			},
+		},
+		{
+			name: "command loss",
+			cfg:  faults.Config{CmdLossRate: 0.5},
+			want: func(t *testing.T, o outcome) {
+				if o.st.LostCommands == 0 {
+					t.Fatalf("no command loss drawn: %+v", o.st)
+				}
+				if o.st.CommandFailures != o.st.LostCommands {
+					t.Fatalf("every lost command is a failed attempt: %+v", o.st)
+				}
+				if o.st.KindCount(BlockWidget)+o.st.KindCount(BlockMember) != 40 {
+					t.Fatalf("lost commands must still count as attempts: %v", o.st.ByKind)
+				}
+				if o.st.KindCount(Deallocate) != 12 || o.st.LostCommands > 40 {
+					t.Fatalf("lifecycle commands are exempt from loss: %+v", o.st)
+				}
+			},
+		},
+		{
+			name: "everything at once",
+			cfg: faults.Config{
+				FailureRate: 0.6, HangFraction: 0.3, MinLife: 2 * second, MaxLife: 20 * second,
+				// A zero outage window keeps allocation noise per-attempt, so
+				// some leases survive to draw fates even at virtual time 0.
+				AllocFailRate: 0.3,
+				TraceDropRate: 0.2, TraceDelayRate: 0.3, TraceDelayMax: 2 * second,
+				CmdLossRate: 0.4,
+			},
+			want: func(t *testing.T, o outcome) {
+				st := o.st
+				if st.Dropped == 0 || st.Delayed == 0 || st.Deaths == 0 || st.AllocFailures == 0 || st.LostCommands == 0 {
+					t.Fatalf("combined plan left an injection channel cold: %+v", st)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			o := run(c.cfg, 7)
+			st := o.st
+			// The Injected identity holds under every mix.
+			if got := st.Dropped + st.Delayed + st.Deaths + st.Hangs + st.AllocFailures + st.LostCommands; st.Injected() != got {
+				t.Fatalf("Injected() = %d, field sum = %d (%+v)", st.Injected(), got, st)
+			}
+			// So does the command-mix identity.
+			sum := 0
+			for _, n := range st.ByKind {
+				sum += n
+			}
+			if sum != st.Commands {
+				t.Fatalf("ByKind sums to %d, Commands = %d", sum, st.Commands)
+			}
+			// Determinism: the same plan and workload always count the same.
+			if again := run(c.cfg, 7); again.st != st {
+				t.Fatalf("stats not reproducible:\n first %+v\nsecond %+v", st, again.st)
+			}
+			c.want(t, o)
+		})
 	}
 }

@@ -32,6 +32,10 @@ type faulty struct {
 	inner Transport
 	plan  *faults.Plan
 	sched *sim.Scheduler
+	// overlay accounts for commands this decorator resolves without ever
+	// reaching inner (injected outages and losses): attempts and failures
+	// must be counted exactly once, whichever layer answers them.
+	overlay Stats
 }
 
 // Publish implements Transport: each event is dropped, delayed, or forwarded
@@ -60,41 +64,70 @@ func (t *faulty) Bind(ex Executor) { t.inner.Bind(ex) }
 // Send implements Transport. Allocation commands pass through the plan's
 // outage model first; a successful allocation draws the new instance's fate
 // and, if it is doomed, schedules the matching Kill/Hang command back through
-// the inner transport at the fated time.
+// the inner transport at the fated time. Block commands may be swallowed by
+// the plan's command-loss stream, reporting a timeout to the sender — loss,
+// not silence, so the coordinator can classify and retry.
 func (t *faulty) Send(cmd Command) Reply {
-	if cmd.Kind != Allocate {
+	switch cmd.Kind {
+	case Allocate:
+		if t.plan.AllocationFails(t.sched.Now()) {
+			t.swallow(cmd)
+			return Reply{Err: fmt.Errorf("bus: injected allocation outage: %w", device.ErrFarmBusy)}
+		}
+		rep := t.inner.Send(cmd)
+		if rep.Err == nil {
+			if fate, fated := t.plan.InstanceFate(rep.Instance); fated {
+				kind := Kill
+				if fate.Kind == faults.Hang {
+					kind = Hang
+				}
+				id := rep.Instance
+				t.sched.After(fate.After, sim.EventFunc(func(*sim.Scheduler) {
+					t.inner.Send(Command{Kind: kind, Instance: id})
+				}))
+			}
+		}
+		return rep
+	case BlockWidget, BlockMember:
+		if t.plan.CommandLost() {
+			t.swallow(cmd)
+			return Reply{Instance: cmd.Instance, Err: fmt.Errorf("bus: injected command loss: %w", ErrTimeout)}
+		}
+		return t.inner.Send(cmd)
+	default:
 		return t.inner.Send(cmd)
 	}
-	if t.plan.AllocationFails(t.sched.Now()) {
-		return Reply{Err: fmt.Errorf("bus: injected allocation outage: %w", device.ErrFarmBusy)}
-	}
-	rep := t.inner.Send(cmd)
-	if rep.Err == nil {
-		if fate, fated := t.plan.InstanceFate(rep.Instance); fated {
-			kind := Kill
-			if fate.Kind == faults.Hang {
-				kind = Hang
-			}
-			id := rep.Instance
-			t.sched.After(fate.After, sim.EventFunc(func(*sim.Scheduler) {
-				t.inner.Send(Command{Kind: kind, Instance: id})
-			}))
-		}
-	}
-	return rep
 }
 
-// Stats implements Transport: the inner counts plus the plan's injections.
-// Dropped events were published at this transport but never reached inner,
-// so they are added back into Published.
+// swallow charges the overlay for a command this decorator failed without
+// forwarding: still an attempt (Commands/ByKind) and a failure, mirroring
+// Inline's attempt-first accounting.
+func (t *faulty) swallow(cmd Command) {
+	t.overlay.Commands++
+	if cmd.Kind >= 0 && int(cmd.Kind) < NumCommandKinds {
+		t.overlay.ByKind[cmd.Kind]++
+	}
+	t.overlay.CommandFailures++
+}
+
+// Stats implements Transport: the inner counts plus the plan's injections
+// and the overlay of commands answered at this layer. Dropped events were
+// published at this transport but never reached inner, so they are added
+// back into Published.
 func (t *faulty) Stats() Stats {
 	s := t.inner.Stats()
 	fs := t.plan.Stats()
 	s.Published += fs.TraceDrops
+	s.Commands += t.overlay.Commands
+	for k, n := range t.overlay.ByKind {
+		s.ByKind[k] += n
+	}
+	s.CommandFailures += t.overlay.CommandFailures
 	s.Dropped = fs.TraceDrops
 	s.Delayed = fs.TraceDelays
 	s.Deaths = fs.Deaths
 	s.Hangs = fs.Hangs
 	s.AllocFailures = fs.AllocFailures
+	s.LostCommands = fs.CmdLosses
 	return s
 }

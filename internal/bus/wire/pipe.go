@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"errors"
+	"io"
+)
+
+// errNoData is returned by Conn.Read when the peer has written nothing yet.
+// The simulation is single-threaded on the virtual clock, so "no data now"
+// is a definite answer, not a blocking condition: the transport treats it as
+// "the reply did not arrive within the command timeout".
+var errNoData = errors.New("wire: no data buffered")
+
+// Conn is one end of an in-process duplex byte pipe. It is shaped like
+// net.Conn's data path (Read/Write/Close over a byte stream) so a TCP
+// connection can replace it without changing the framing layer, but it
+// deliberately omits deadlines and addresses: inside the deterministic
+// simulation, time belongs to the sim clock, not the socket.
+type Conn struct {
+	in     *buffer
+	out    *buffer
+	closed bool
+}
+
+// Pipe returns the two ends of a connected duplex pipe: bytes written to one
+// end are readable from the other, synchronously and in order.
+func Pipe() (*Conn, *Conn) {
+	up := &buffer{}
+	down := &buffer{}
+	a := &Conn{in: up, out: down}
+	b := &Conn{in: down, out: up}
+	return a, b
+}
+
+// Read drains buffered bytes from the peer. With nothing buffered it returns
+// errNoData rather than blocking (see errNoData). After Close it returns
+// io.ErrClosedPipe.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if len(c.in.b) == 0 {
+		return 0, errNoData
+	}
+	n := copy(p, c.in.b)
+	c.in.b = c.in.b[n:]
+	return n, nil
+}
+
+// Write buffers p for the peer. After Close (of either end) it returns
+// io.ErrClosedPipe — the transport surfaces that as command loss.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.closed || c.out.closed {
+		return 0, io.ErrClosedPipe
+	}
+	c.out.b = append(c.out.b, p...)
+	return len(p), nil
+}
+
+// Close marks this end closed. Buffered data is discarded; subsequent reads
+// and writes on either end fail with io.ErrClosedPipe.
+func (c *Conn) Close() error {
+	c.closed = true
+	c.in.closed = true
+	c.out.closed = true
+	c.in.b = nil
+	return nil
+}
+
+// buffer is one direction of the pipe.
+type buffer struct {
+	b      []byte
+	closed bool
+}

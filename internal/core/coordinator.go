@@ -237,6 +237,8 @@ type Stats struct {
 	Orphaned       int // subspaces orphaned by their owner's departure
 	Rededicated    int // orphans re-assigned to a replacement instance
 	DroppedOrphans int // orphans left permanently blocked (DropOrphans)
+	CmdRetries     int // block commands retransmitted after a retryable failure
+	CmdDropped     int // block commands abandoned after exhausting retransmits
 }
 
 // NewCoordinator wires a coordinator to its environment and the transport
@@ -791,21 +793,62 @@ func (c *Coordinator) accept(cand Candidate, members []ui.Signature) {
 }
 
 // blockWidget and blockMember emit one entrypoint-block command each on the
-// transport. Replies are ignored: blocking a just-departed instance is a
-// no-op at the executor, exactly as installing blocks on a throwaway set was.
+// transport. Permanent reply errors are ignored: blocking a just-departed
+// instance is a no-op at the executor, exactly as installing blocks on a
+// throwaway set was. Retryable failures — the transport reported loss —
+// are retransmitted by sendBlock.
 func (c *Coordinator) blockWidget(id int, from ui.Signature, w ui.WidgetPath) {
-	c.port.Send(bus.Command{Kind: bus.BlockWidget, Instance: id, Screen: from, Widget: w})
+	c.sendBlock(bus.Command{Kind: bus.BlockWidget, Instance: id, Screen: from, Widget: w})
 }
 
 func (c *Coordinator) blockMember(id int, m ui.Signature) {
-	c.port.Send(bus.Command{Kind: bus.BlockMember, Instance: id, Screen: m})
+	c.sendBlock(bus.Command{Kind: bus.BlockMember, Instance: id, Screen: m})
+}
+
+// cmdRetryLimit bounds the retransmits of one lost block command. Block
+// commands are idempotent at the executor (installing the same block twice
+// is a no-op), so retransmission is always safe; the bound keeps a severed
+// transport from looping forever.
+const cmdRetryLimit = 3
+
+// sendBlock fires one block command, retransmitting on retryable failures
+// (the transport reported loss or timeout, not a permanent refusal). A
+// command that exhausts the budget is abandoned and decision-logged: the
+// entrypoint stays unblocked until the analyzer re-learns the edge, which
+// degrades efficiency, never correctness.
+func (c *Coordinator) sendBlock(cmd bus.Command) {
+	rep := c.port.Send(cmd)
+	for attempt := 0; rep.Err != nil && bus.Retryable(rep.Err); attempt++ {
+		if attempt == cmdRetryLimit {
+			c.stats.CmdDropped++
+			c.obs.Emit(obs.Decision{
+				AtNS: obs.At(c.env.Now()), Kind: obs.KindCmdDrop, Instance: cmd.Instance, Sub: -1,
+				Entry: obs.Sig(cmd.Screen), Reason: cmd.Kind.String(),
+			})
+			return
+		}
+		c.stats.CmdRetries++
+		c.obs.Emit(obs.Decision{
+			AtNS: obs.At(c.env.Now()), Kind: obs.KindCmdRetry, Instance: cmd.Instance, Sub: -1,
+			Entry: obs.Sig(cmd.Screen), Reason: cmd.Kind.String(),
+		})
+		rep = c.port.Send(cmd)
+	}
 }
 
 // blockSubspace installs sub's blocks on one instance: every observed edge
 // from outside into the subspace is disabled, and members are marked so the
 // driver steers the tool out if it slips in through an unobserved edge.
+// Members are visited in sorted signature order — the command sequence on
+// the transport is part of the run's reproducible record (wire logs are
+// diffed byte-for-byte), so it must not inherit map iteration order.
 func (c *Coordinator) blockSubspace(id int, sub *Subspace) {
+	members := make([]ui.Signature, 0, len(sub.Members))
 	for m := range sub.Members {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, m := range members {
 		c.blockMember(id, m)
 		for _, e := range c.incoming[m] {
 			if !sub.Members[e.from] {
@@ -829,8 +872,12 @@ func (c *Coordinator) allocate() (int, bool) {
 	}
 	id, err := c.env.Allocate()
 	if err != nil {
-		if errors.Is(err, bus.ErrFarmBusy) {
-			c.deferAllocation()
+		if bus.Retryable(err) {
+			reason := "farm-busy"
+			if errors.Is(err, bus.ErrTimeout) {
+				reason = "command-timeout"
+			}
+			c.deferAllocation(reason)
 		} else {
 			c.allocDisabled = true
 			c.obs.Emit(obs.Decision{
@@ -870,7 +917,9 @@ func (c *Coordinator) allocate() (int, bool) {
 
 // deferAllocation queues one want for the next Tick and extends the backoff:
 // base on the first consecutive failure, doubling up to the cap afterwards.
-func (c *Coordinator) deferAllocation() {
+// reason records why the attempt failed retryably ("farm-busy" or
+// "command-timeout").
+func (c *Coordinator) deferAllocation(reason string) {
 	if c.pendingAllocs < c.env.MaxInstances() {
 		c.pendingAllocs++
 	}
@@ -886,7 +935,7 @@ func (c *Coordinator) deferAllocation() {
 	c.nextAllocAt = c.env.Now() + c.allocBackoff
 	c.obs.Emit(obs.Decision{
 		AtNS: obs.At(c.env.Now()), Kind: obs.KindAllocDefer, Instance: -1, Sub: -1,
-		BackoffNS: int64(c.allocBackoff), Reason: "farm-busy",
+		BackoffNS: int64(c.allocBackoff), Reason: reason,
 	})
 }
 

@@ -83,14 +83,18 @@ type Event struct {
 // published and delivered, commands carried, and the faults the decorated
 // transport injected. Absent on fault-free runs.
 type Transport struct {
-	Events          int `json:"events"`
-	Delivered       int `json:"delivered"`
-	Commands        int `json:"commands"`
+	Events    int `json:"events"`
+	Delivered int `json:"delivered"`
+	Commands  int `json:"commands"`
+	// CommandFailures counts command attempts whose reply carried an error
+	// (injected outages and losses, timeouts, guard rejections).
+	CommandFailures int `json:"command_failures,omitempty"`
 	Dropped         int `json:"dropped"`
 	Delayed         int `json:"delayed"`
 	Deaths          int `json:"deaths"`
 	Hangs           int `json:"hangs"`
 	AllocFailures   int `json:"alloc_failures"`
+	LostCommands    int `json:"lost_commands,omitempty"`
 	FailedInstances int `json:"failed_instances"`
 	OrphansPending  int `json:"orphans_pending"`
 	// CommandMix breaks Commands down per kind (format v3).
@@ -166,11 +170,13 @@ func FromResult(res *harness.RunResult) *Run {
 			Events:          st.Published,
 			Delivered:       st.Delivered,
 			Commands:        st.Commands,
+			CommandFailures: st.CommandFailures,
 			Dropped:         st.Dropped,
 			Delayed:         st.Delayed,
 			Deaths:          st.Deaths,
 			Hangs:           st.Hangs,
 			AllocFailures:   st.AllocFailures,
+			LostCommands:    st.LostCommands,
 			FailedInstances: res.FailedInstances,
 			OrphansPending:  res.OrphansPending,
 			CommandMix: &CommandMix{

@@ -85,6 +85,12 @@ type Config struct {
 	// delayed; TraceDelayMax bounds the uniform delay.
 	TraceDelayRate float64
 	TraceDelayMax  sim.Duration
+	// CmdLossRate is the probability that one downstream block command
+	// (BlockWidget/BlockMember) is swallowed by the farm network: the
+	// executor never sees it and the sender gets a timeout instead of a
+	// reply. Lifecycle commands are exempt — allocation noise has its own
+	// outage model, and losing a Deallocate would fabricate undead leases.
+	CmdLossRate float64
 }
 
 // DefaultConfig returns a calibrated fault mix scaled by the headline
@@ -93,6 +99,10 @@ type Config struct {
 // typical lease (instances live minutes to tens of minutes before
 // stagnation reaping), so deaths interrupt genuine work rather than firing
 // after the instance would have been released anyway.
+//
+// CmdLossRate stays zero here: command loss is a separate robustness
+// experiment (it exercises the coordinator's retransmit path), not part of
+// the calibrated chaos mix the golden campaigns pin.
 func DefaultConfig(failureRate float64) Config {
 	return Config{
 		FailureRate:    failureRate,
@@ -109,7 +119,8 @@ func DefaultConfig(failureRate float64) Config {
 
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
-	return c.FailureRate > 0 || c.AllocFailRate > 0 || c.TraceDropRate > 0 || c.TraceDelayRate > 0
+	return c.FailureRate > 0 || c.AllocFailRate > 0 || c.TraceDropRate > 0 ||
+		c.TraceDelayRate > 0 || c.CmdLossRate > 0
 }
 
 // Fate is an instance-level fault scheduled at allocation time.
@@ -127,11 +138,12 @@ type Stats struct {
 	AllocFailures int
 	TraceDrops    int
 	TraceDelays   int
+	CmdLosses     int
 }
 
 // Total returns the total number of injected faults.
 func (s Stats) Total() int {
-	return s.Deaths + s.Hangs + s.AllocFailures + s.TraceDrops + s.TraceDelays
+	return s.Deaths + s.Hangs + s.AllocFailures + s.TraceDrops + s.TraceDelays + s.CmdLosses
 }
 
 // Plan is one run's deterministic fault schedule. All methods are safe on a
@@ -139,12 +151,14 @@ func (s Stats) Total() int {
 type Plan struct {
 	cfg Config
 
-	// base seeds the per-instance fate forks; alloc and tracer are the
-	// allocation-attempt and trace-delivery streams. Keeping the streams
-	// separate means one fault class's draws never perturb another's.
+	// base seeds the per-instance fate forks; alloc, tracer and cmds are
+	// the allocation-attempt, trace-delivery and command-loss streams.
+	// Keeping the streams separate means one fault class's draws never
+	// perturb another's.
 	base   *sim.RNG
 	alloc  *sim.RNG
 	tracer *sim.RNG
+	cmds   *sim.RNG
 
 	outageUntil sim.Duration
 	stats       Stats
@@ -161,6 +175,7 @@ func NewPlan(cfg Config, rng *sim.RNG) *Plan {
 		base:   rng.Fork(1),
 		alloc:  rng.Fork(2),
 		tracer: rng.Fork(3),
+		cmds:   rng.Fork(4),
 	}
 }
 
@@ -239,6 +254,20 @@ func (p *Plan) TraceDelivery() (drop bool, delay sim.Duration) {
 		return false, p.tracer.DurationBetween(200*sim.Duration(1e6), p.cfg.TraceDelayMax)
 	}
 	return false, 0
+}
+
+// CommandLost decides whether one downstream block command is swallowed by
+// the simulated farm network. Drawn from the dedicated cmds stream, so
+// enabling command loss never perturbs the other fault classes' draws.
+func (p *Plan) CommandLost() bool {
+	if p == nil || p.cfg.CmdLossRate <= 0 {
+		return false
+	}
+	if !p.cmds.Bool(p.cfg.CmdLossRate) {
+		return false
+	}
+	p.stats.CmdLosses++
+	return true
 }
 
 // Stats returns the faults injected so far (zero for a nil plan).

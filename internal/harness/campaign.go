@@ -87,6 +87,10 @@ type CampaignConfig struct {
 	// every run of the campaign (ablations and the legacy-analyzer
 	// differential); nil uses the mode's defaults.
 	CoreConfig *core.Config
+	// Transport selects the coordination transport for every run of the
+	// campaign (default TransportInline). Conformance: the choice must not
+	// change any summary the renderers read.
+	Transport Transport
 	// Workers bounds the goroutine pool Prefetch computes missing cells on.
 	// 0 or 1 runs serially; results are identical either way — each cell's
 	// seed derives from its key alone, and Prefetch merges in deterministic
@@ -207,6 +211,7 @@ func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
 		Seed:       c.cellSeed(key),
 		CoreConfig: c.cfg.CoreConfig,
 		Faults:     c.cfg.Faults,
+		Transport:  c.cfg.Transport,
 	})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"taopt/internal/faults"
+	"taopt/internal/obs"
 	"taopt/internal/sim"
 )
 
@@ -212,5 +213,72 @@ func TestChaosCampaignThreadsFaults(t *testing.T) {
 	if cell.Union != again.Union || cell.FaultsInjected != again.FaultsInjected ||
 		cell.FailedInstances != again.FailedInstances {
 		t.Fatalf("chaos campaign cells not reproducible: %+v vs %+v", cell, again)
+	}
+}
+
+// TestChaosWireOutageBackoff forces the hostile end of the robustness
+// envelope through the framed transport: allocation outages plus command
+// loss. The run must complete (no hang, no panic), resolve deferred
+// allocations via the coordinator's capped backoff, retry lost block
+// commands, and leave the whole story in the decision log.
+func TestChaosWireOutageBackoff(t *testing.T) {
+	fc := faults.DefaultConfig(0.20)
+	fc.MinLife = 1 * chaosMinute
+	fc.MaxLife = 5 * chaosMinute
+	fc.AllocFailRate = 0.45
+	fc.AllocOutage = chaosMinute / 2
+	fc.CmdLossRate = 0.4
+	res, err := Run(RunConfig{
+		App:       mustLoad(t, "Filters For Selfie"),
+		Tool:      "monkey",
+		Setting:   TaOPTDuration,
+		Duration:  12 * chaosMinute,
+		Seed:      11,
+		Faults:    &fc,
+		Telemetry: true,
+		Transport: TransportWire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wire == nil || res.Wire.FramesUp == 0 {
+		t.Fatalf("run did not go over the wire: %+v", res.Wire)
+	}
+	if res.Transport.AllocFailures == 0 {
+		t.Fatalf("outage mix drew no allocation failures: %+v", res.Transport)
+	}
+	if res.Transport.LostCommands == 0 {
+		t.Fatalf("loss mix swallowed no commands: %+v", res.Transport)
+	}
+
+	byKind := res.Telemetry.DecisionLog().CountByKind()
+	if byKind[obs.KindAllocDefer] == 0 {
+		t.Fatal("no alloc-defer decisions despite a forced outage")
+	}
+	if byKind[obs.KindCmdRetry] == 0 {
+		t.Fatal("no cmd-retry decisions despite forced command loss")
+	}
+	// Backoff resolves: some deferred want later became a real allocation.
+	// Every instance past the initial d_max came out of the retry path, so a
+	// completed run with outages and full coverage of d_max proves it.
+	var lastDefer, lastAlloc int64 = -1, -1
+	for _, d := range res.Telemetry.DecisionLog().Decisions() {
+		switch d.Kind {
+		case obs.KindAllocDefer:
+			if lastDefer == -1 {
+				lastDefer = d.AtNS
+			}
+		case obs.KindAllocate:
+			lastAlloc = d.AtNS
+		}
+	}
+	if lastDefer == -1 || lastAlloc <= lastDefer {
+		t.Fatalf("no allocation after the first deferral (first defer at %d, last alloc at %d): backoff never resolved",
+			lastDefer, lastAlloc)
+	}
+	// Deferral reasons distinguish farm-busy from command timeouts.
+	reasons := res.Telemetry.DecisionLog().CountByReason(obs.KindAllocDefer)
+	if reasons["farm-busy"] == 0 {
+		t.Fatalf("alloc-defer reasons = %v, want farm-busy entries", reasons)
 	}
 }

@@ -6,9 +6,11 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"taopt/internal/app"
 	"taopt/internal/bus"
+	"taopt/internal/bus/wire"
 	"taopt/internal/core"
 	"taopt/internal/coverage"
 	"taopt/internal/crash"
@@ -66,6 +68,32 @@ func (s Setting) String() string {
 	}
 }
 
+// Transport selects the coordination-transport implementation of a run.
+// The selection must be invisible in the results: the transport conformance
+// suite asserts byte-identical exports across all transports.
+type Transport int
+
+// Transports.
+const (
+	// TransportInline is the synchronous in-process transport (bus.Inline).
+	TransportInline Transport = iota
+	// TransportWire is the message-framed transport: every event and
+	// command crosses an in-process duplex pipe as length-prefixed binary
+	// frames (internal/bus/wire).
+	TransportWire
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportInline:
+		return "inline"
+	case TransportWire:
+		return "wire"
+	default:
+		return "unknown-transport"
+	}
+}
+
 // Defaults matching the paper's setup (Section 6.1).
 const (
 	DefaultInstances   = 5
@@ -100,6 +128,13 @@ type RunConfig struct {
 	// log and the run's metrics registry (see internal/obs). Off by default;
 	// a disabled run carries a nil sink and pays nothing on the hot path.
 	Telemetry bool
+	// Transport selects the coordination transport (default TransportInline).
+	Transport Transport
+	// WireLog, when non-nil, records the run's full bidirectional message
+	// log in the internal/bus/wire format: every ground event, delivery,
+	// command exchange and boundary effect, from which export.ReplayWireLog
+	// re-derives the run byte-for-byte. Works over either transport.
+	WireLog io.Writer
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -165,6 +200,10 @@ type RunResult struct {
 	// Telemetry holds the run's decision log and metrics registry when
 	// RunConfig.Telemetry was set; nil otherwise.
 	Telemetry *obs.Telemetry
+	// Wire holds the wire transport's frame-level traffic counters
+	// (TransportWire runs only; nil for Inline). Deliberately not part of
+	// the export, which must stay byte-identical across transports.
+	Wire *wire.Stats
 	// Events is the number of scheduler events the run fired — the
 	// deterministic work measure behind the bench harness's
 	// virtual-events-per-second figure.
@@ -205,7 +244,20 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	r := newRunner(cfg)
 	r.run()
-	return r.result(), nil
+	res := r.result()
+	// A truncated or failed wire log / wire protocol must fail the run
+	// loudly: a silently incomplete log would replay wrongly later.
+	if r.rec != nil {
+		if err := r.rec.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if r.wireT != nil {
+		if err := r.wireT.Err(); err != nil {
+			return nil, fmt.Errorf("harness: wire transport: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // actor drives one testing instance: tool chooses, driver performs, repeat.
@@ -251,6 +303,10 @@ type runner struct {
 	// producer below guards on it, so a disabled run takes no telemetry
 	// branches beyond one nil check).
 	tel *obs.Telemetry
+	// wireT is the framed transport when TransportWire is selected (nil for
+	// Inline); rec is the wire-log recorder when RunConfig.WireLog is set.
+	wireT *wire.Transport
+	rec   *wire.Recorder
 }
 
 func newRunner(cfg RunConfig) *runner {
@@ -284,11 +340,42 @@ func newRunner(cfg RunConfig) *runner {
 		r.wallDeadline = cfg.MachineBudget
 	}
 	r.farm = device.NewFarm(cfg.App, r.rng.Fork(1000003), maxDevices, autoLogin)
-	// The transport: synchronous in-process delivery, decorated with the
-	// fault plan on chaos runs (a nil plan leaves it undecorated). The runner
-	// binds itself as the executor endpoint before the strategy is built, so
-	// TaOPT's coordinator can emit commands from its first event.
-	r.port = bus.WithFaults(bus.NewInline(), faults.PlanFor(cfg.Faults, r.rng.Fork(7000003)), r.sched)
+	// The transport stack, innermost first: the base transport (Inline or
+	// framed wire), the fault decorator on chaos runs (a nil plan leaves it
+	// undecorated), and — when a wire log is requested — the recorder's two
+	// taps: Inner below the faults (what was delivered) and Outer above them
+	// (ground events and command exchanges as the endpoints spoke them).
+	// The runner binds itself as the executor endpoint before the strategy
+	// is built, so TaOPT's coordinator can emit commands from its first
+	// event.
+	var base bus.Transport
+	if cfg.Transport == TransportWire {
+		r.wireT = wire.New(r.sched.Now)
+		base = r.wireT
+	} else {
+		base = bus.NewInline()
+	}
+	if cfg.WireLog != nil {
+		r.rec = wire.NewRecorder(cfg.WireLog, r.sched.Now, r.book, wire.Header{
+			App:             cfg.App.Name,
+			Tool:            cfg.Tool,
+			Setting:         cfg.Setting.String(),
+			Seed:            cfg.Seed,
+			Instances:       cfg.Instances,
+			MaxDevices:      maxDevices,
+			DurationNS:      int64(cfg.Duration),
+			MachineBudgetNS: int64(cfg.MachineBudget),
+			SampleEveryNS:   int64(cfg.SampleEvery),
+			CoreOverride:    cfg.CoreConfig != nil,
+			Telemetry:       cfg.Telemetry,
+			FaultsEnabled:   cfg.Faults != nil && cfg.Faults.Enabled(),
+		})
+		base = r.rec.Inner(base)
+	}
+	r.port = bus.WithFaults(base, faults.PlanFor(cfg.Faults, r.rng.Fork(7000003)), r.sched)
+	if r.rec != nil {
+		r.port = r.rec.Outer(r.port)
+	}
 	r.port.Bind(r)
 	r.strategy = newStrategy(r)
 	r.port.Subscribe(func(ev trace.Event) {
@@ -334,13 +421,23 @@ func (r *runner) ActiveInstances() []int {
 // before the transport is consulted.
 func (r *runner) Allocate() (int, error) {
 	if r.ended {
-		return 0, fmt.Errorf("harness: run ended")
+		return 0, r.localReject(fmt.Errorf("harness: run ended"))
 	}
 	if r.wallDeadline != 0 && r.sched.Now() >= r.wallDeadline {
-		return 0, fmt.Errorf("harness: wall deadline reached")
+		return 0, r.localReject(fmt.Errorf("harness: wall deadline reached"))
 	}
 	rep := r.port.Send(bus.Command{Kind: bus.Allocate})
 	return rep.Instance, rep.Err
+}
+
+// localReject records an allocation the lifecycle guards refused on the
+// client side, without consulting the transport. The wire log still carries
+// the exchange, so replay resolves the same request with the same error.
+func (r *runner) localReject(err error) error {
+	if r.rec != nil {
+		r.rec.Local(bus.Command{Kind: bus.Allocate}, bus.Reply{Err: err})
+	}
+	return err
 }
 
 // Deallocate implements core.Env: the release travels as a bus command.
@@ -399,6 +496,11 @@ func (r *runner) execAllocate() bus.Reply {
 	driver.Subscribe(toller.ListenerFunc(r.port.Publish))
 	r.actors[id] = a
 	r.order = append(r.order, id)
+	if r.rec != nil {
+		// The launch event was emitted before any listener subscribed, so it
+		// never crosses the transport; the lease frame carries it.
+		r.rec.Lease(id, driver.Trace().Events()[0])
+	}
 	r.scheduleStep(a, 0)
 	return bus.Reply{Instance: id}
 }
@@ -555,6 +657,12 @@ func (r *runner) sample() {
 		p.AJS = metrics.AJS(sets)
 	}
 	r.timeline = append(r.timeline, p)
+	if r.rec != nil {
+		r.rec.Sample(wire.Sample{
+			WallNS: int64(p.Wall), MachineNS: int64(p.Machine),
+			Covered: p.Covered, Crashes: p.Crashes, AJS: p.AJS,
+		})
+	}
 	if r.tel != nil {
 		reg := r.tel.Registry()
 		reg.Append("run.coverage", now, float64(p.Covered))
@@ -589,6 +697,9 @@ func (r *runner) run() {
 		now := r.sched.Now()
 		if r.wallDeadline != 0 && now >= r.wallDeadline {
 			return
+		}
+		if r.rec != nil {
+			r.rec.TickMark()
 		}
 		r.strategy.tick(now)
 		if r.ended {
@@ -669,6 +780,40 @@ func (r *runner) result() *RunResult {
 			reg.Observe("lease.duration_min", mins, 5, 15, 30, 60, 120)
 		}
 		res.Telemetry = r.tel
+	}
+	if r.wireT != nil {
+		ws := r.wireT.Wire()
+		res.Wire = &ws
+	}
+	if r.rec != nil {
+		// Close the wire log: per-lease summaries and the run totals, the
+		// frames replay rebuilds the export's non-protocol sections from.
+		for _, ir := range res.Instances {
+			sum := wire.Summary{
+				ID:          ir.ID,
+				AllocatedNS: int64(ir.Allocated),
+				ReleasedNS:  int64(ir.Released),
+				Failed:      ir.Failed,
+				Coverage:    ir.Methods.Count(),
+			}
+			for _, rep := range ir.Crashes.Reports() {
+				sum.Crashes = append(sum.Crashes, wire.CrashInfo{
+					Signature: string(rep.Signature),
+					AtNS:      int64(rep.At),
+					Frames:    rep.Frames,
+				})
+			}
+			r.rec.Instance(sum)
+		}
+		r.rec.End(wire.RunEnd{
+			WallNS:          int64(res.WallUsed),
+			MachineNS:       int64(res.MachineUsed),
+			Coverage:        res.Union.Count(),
+			UniqueCrashes:   res.UniqueCrashes,
+			FailedInstances: res.FailedInstances,
+			OrphansPending:  res.OrphansPending,
+			Stats:           res.Transport,
+		})
 	}
 	return res
 }

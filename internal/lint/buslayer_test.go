@@ -19,3 +19,9 @@ func TestBuslayerUngovernedPackageIsFree(t *testing.T) {
 	// Cross-layer imports under a tree with no layer rule: no findings.
 	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/harness", "testdata/buslayer/free")
 }
+
+func TestBuslayerWireIsNarrowerThanBus(t *testing.T) {
+	// bus/wire carries its own longest-match rule: the parent seam and the
+	// base types are fine, but faults — allowed to bus itself — is not.
+	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/bus/wire", "testdata/buslayer/wire")
+}

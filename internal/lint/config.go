@@ -144,6 +144,14 @@ func DefaultConfig() *Config {
 				Hint: "bus is the coordination seam; it bridges down to instances and must not import the layers that ride on it",
 			},
 			{
+				Pkg: "taopt/internal/bus/wire",
+				Allow: []string{
+					"taopt/internal/bus",
+					"taopt/internal/sim", "taopt/internal/trace", "taopt/internal/ui",
+				},
+				Hint: "the wire framing serialises bus traffic and nothing else; fault injection composes over it via bus.WithFaults, never inside it",
+			},
+			{
 				Pkg: "taopt/internal/core",
 				Allow: []string{
 					"taopt/internal/bus", "taopt/internal/graph", "taopt/internal/obs",
@@ -175,12 +183,16 @@ func (c *Config) deterministic(pkg string) bool {
 	return matchesAny(pkg, c.Deterministic)
 }
 
-// layerRule returns the layering rule governing pkg, or nil.
+// layerRule returns the layering rule governing pkg, or nil. The most
+// specific (longest) matching tree wins, so a subtree may carry a stricter
+// rule than its parent — bus/wire is narrower than bus.
 func (c *Config) layerRule(pkg string) *LayerRule {
+	var best *LayerRule
 	for i := range c.Layers {
-		if matches(pkg, c.Layers[i].Pkg) {
-			return &c.Layers[i]
+		r := &c.Layers[i]
+		if matches(pkg, r.Pkg) && (best == nil || len(r.Pkg) > len(best.Pkg)) {
+			best = r
 		}
 	}
-	return nil
+	return best
 }

@@ -10,6 +10,9 @@ func TestConfigMatching(t *testing.T) {
 		rule string // governing layer rule's Pkg, "" for none
 	}{
 		{"taopt/internal/core", true, "taopt/internal/core"},
+		// Longest-match: the wire subtree carries its own, stricter rule.
+		{"taopt/internal/bus", true, "taopt/internal/bus"},
+		{"taopt/internal/bus/wire", true, "taopt/internal/bus/wire"},
 		{"taopt/internal/sim", true, "taopt/internal/sim"},
 		{"taopt/internal/harness", true, ""},
 		{"taopt/internal/harness/fleet", true, ""},

@@ -73,6 +73,12 @@ const (
 	KindHung = "hung"
 	// KindReleaseError: the farm rejected a de-allocation (unknown/double).
 	KindReleaseError = "release-error"
+	// KindCmdRetry: a block command failed retryably (lost on the wire) and
+	// was retransmitted; Reason names the command kind.
+	KindCmdRetry = "cmd-retry"
+	// KindCmdDrop: a block command exhausted its retransmit budget and was
+	// abandoned; the entrypoint stays unblocked until re-learned.
+	KindCmdDrop = "cmd-drop"
 )
 
 // Decision is one structured decision-log entry. The zero value of optional

@@ -1,0 +1,244 @@
+package taopt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taopt/internal/export"
+)
+
+// The transport conformance contract: a run's export is a property of the
+// configuration alone, not of how the coordination protocol travels. Every
+// cell below runs three ways — over the Inline transport, over the wire
+// framing with the full message log recorded, and replayed from that log
+// with no farm and no testing tools — and all three must serialise to the
+// same bytes.
+
+type conformanceCell struct {
+	name    string
+	app     string
+	tool    string
+	setting Setting
+	faults  *FaultConfig
+}
+
+// chaosFaults is a fault mix hitting every injection path, including the
+// command-loss channel that defaults to zero.
+func chaosFaults(cmdLoss float64) *FaultConfig {
+	fc := DefaultFaultConfig(0.25)
+	fc.MinLife = 1 * Minute
+	fc.MaxLife = 5 * Minute
+	fc.CmdLossRate = cmdLoss
+	return &fc
+}
+
+func conformanceCells(short bool) []conformanceCell {
+	cells := []conformanceCell{
+		{"taopt-duration/fault-free", "Filters For Selfie", "monkey", TaOPTDuration, nil},
+		{"taopt-duration/chaos", "Filters For Selfie", "monkey", TaOPTDuration, chaosFaults(0)},
+		{"taopt-duration/cmdloss", "Filters For Selfie", "ape", TaOPTDuration, chaosFaults(0.35)},
+	}
+	if !short {
+		cells = append(cells,
+			conformanceCell{"taopt-resource/chaos", "Marvel Comics", "wctester", TaOPTResource, chaosFaults(0.2)},
+			conformanceCell{"baseline/chaos", "Sketch", "monkey", Baseline, chaosFaults(0.2)},
+			conformanceCell{"activity-partition/cmdloss", "Sketch", "ape", ActivityPartition, chaosFaults(0.35)},
+		)
+	}
+	return cells
+}
+
+func (c conformanceCell) config(transport Transport) RunConfig {
+	return RunConfig{
+		App:       LoadApp(c.app),
+		Tool:      c.tool,
+		Setting:   c.setting,
+		Duration:  8 * Minute,
+		Seed:      23,
+		Faults:    c.faults,
+		Transport: transport,
+	}
+}
+
+func exportBytes(t *testing.T, res *RunResult) []byte {
+	t.Helper()
+	run := export.FromResult(res)
+	var buf bytes.Buffer
+	if err := run.Write(&buf); err != nil {
+		t.Fatalf("serialising export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// saveWireLog keeps a failing (or, under TAOPT_WIRELOG_DIR, every) cell's
+// wire log on disk so CI can upload it as an artifact.
+func saveWireLog(t *testing.T, name string, log []byte) {
+	dir := os.Getenv("TAOPT_WIRELOG_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("keeping wire log: %v", err)
+		return
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(name, "/", "_")+".wirelog")
+	if err := os.WriteFile(path, log, 0o644); err != nil {
+		t.Logf("keeping wire log: %v", err)
+		return
+	}
+	t.Logf("wire log kept at %s", path)
+}
+
+// TestTransportConformance asserts the inline run, the wire run and the
+// wire-log replay of each conformance cell export byte-identically.
+func TestTransportConformance(t *testing.T) {
+	for _, cell := range conformanceCells(testing.Short()) {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			inlineRes, err := Run(cell.config(TransportInline))
+			if err != nil {
+				t.Fatalf("inline run: %v", err)
+			}
+			inlineJSON := exportBytes(t, inlineRes)
+
+			var log bytes.Buffer
+			cfg := cell.config(TransportWire)
+			cfg.WireLog = &log
+			wireRes, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("wire run: %v", err)
+			}
+			saveWireLog(t, cell.name, log.Bytes())
+			wireJSON := exportBytes(t, wireRes)
+			if !bytes.Equal(inlineJSON, wireJSON) {
+				t.Fatalf("wire transport changed the export:\n%s", firstDiff(inlineJSON, wireJSON))
+			}
+			if wireRes.Wire == nil || wireRes.Wire.FramesUp == 0 || wireRes.Wire.FramesDown == 0 {
+				t.Fatalf("wire run reports no frame traffic: %+v", wireRes.Wire)
+			}
+
+			replayed, _, err := export.ReplayWireLog(bytes.NewReader(log.Bytes()))
+			if err != nil {
+				t.Fatalf("replaying wire log: %v", err)
+			}
+			var replayJSON bytes.Buffer
+			if err := replayed.Write(&replayJSON); err != nil {
+				t.Fatalf("serialising replayed export: %v", err)
+			}
+			if !bytes.Equal(inlineJSON, replayJSON.Bytes()) {
+				t.Fatalf("replay diverged from the live export:\n%s", firstDiff(inlineJSON, replayJSON.Bytes()))
+			}
+		})
+	}
+}
+
+// TestWireReplayHashStable pins the replayed export to the live export by
+// hash as well — the form the acceptance check and CI artifacts use.
+func TestWireReplayHashStable(t *testing.T) {
+	cell := conformanceCells(true)[1] // taopt-duration/chaos
+	var log bytes.Buffer
+	cfg := cell.config(TransportWire)
+	cfg.WireLog = &log
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("wire run: %v", err)
+	}
+	live := sha256.Sum256(exportBytes(t, res))
+
+	replayed, _, err := export.ReplayWireLog(&log)
+	if err != nil {
+		t.Fatalf("replaying wire log: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := replayed.Write(&buf); err != nil {
+		t.Fatalf("serialising replayed export: %v", err)
+	}
+	got := sha256.Sum256(buf.Bytes())
+	if got != live {
+		t.Fatalf("replayed export hash %s != live %s",
+			hex.EncodeToString(got[:8]), hex.EncodeToString(live[:8]))
+	}
+}
+
+// TestWireReplayReproducesDecisionLog asserts the replayed coordinator makes
+// the exact decision sequence of the live one — the log carries enough to
+// re-derive not just the export but the reasoning behind it.
+func TestWireReplayReproducesDecisionLog(t *testing.T) {
+	cell := conformanceCells(true)[2] // cmdloss chaos, exercises retry decisions
+	var log bytes.Buffer
+	cfg := cell.config(TransportWire)
+	cfg.WireLog = &log
+	cfg.Telemetry = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("wire run: %v", err)
+	}
+	var live bytes.Buffer
+	if err := res.Telemetry.DecisionLog().WriteJSONL(&live); err != nil {
+		t.Fatalf("serialising live decision log: %v", err)
+	}
+
+	_, decisions, err := export.ReplayWireLog(&log)
+	if err != nil {
+		t.Fatalf("replaying wire log: %v", err)
+	}
+	var replayed bytes.Buffer
+	if err := decisions.WriteJSONL(&replayed); err != nil {
+		t.Fatalf("serialising replayed decision log: %v", err)
+	}
+	if live.Len() == 0 {
+		t.Fatal("live run made no decisions; cell is not exercising the coordinator")
+	}
+	if !bytes.Equal(live.Bytes(), replayed.Bytes()) {
+		t.Fatalf("replayed decision log diverged:\n%s", firstDiff(live.Bytes(), replayed.Bytes()))
+	}
+}
+
+// TestRecorderComposesOverInline asserts the record/replay path is
+// transport-agnostic: a wire log captured over the Inline transport replays
+// to the same export too.
+func TestRecorderComposesOverInline(t *testing.T) {
+	cell := conformanceCells(true)[1]
+	var log bytes.Buffer
+	cfg := cell.config(TransportInline)
+	cfg.WireLog = &log
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("inline run: %v", err)
+	}
+	live := exportBytes(t, res)
+
+	replayed, _, err := export.ReplayWireLog(&log)
+	if err != nil {
+		t.Fatalf("replaying wire log: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := replayed.Write(&buf); err != nil {
+		t.Fatalf("serialising replayed export: %v", err)
+	}
+	if !bytes.Equal(live, buf.Bytes()) {
+		t.Fatalf("inline-recorded replay diverged:\n%s", firstDiff(live, buf.Bytes()))
+	}
+}
+
+// firstDiff renders the first differing line of two texts for debugging.
+func firstDiff(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n-%s\n+%s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
