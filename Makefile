@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench bench-go fuzz check
+.PHONY: build test race lint vet bench bench-go fuzz scenario-hashes check
 
 build:
 	$(GO) build ./...
@@ -35,10 +35,17 @@ bench:
 bench-go:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./...
 
-# fuzz gives each go-native fuzz target in internal/core a short
-# coverage-guided run on top of its checked-in seed corpus.
+# fuzz gives each go-native fuzz target a short coverage-guided run on
+# top of its checked-in seed corpus.
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzFindSpace -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSpaceTracker -fuzztime 10s
+	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzScenarioDecode -fuzztime 10s
+
+# scenario-hashes regenerates the canonical-hash manifest the CI
+# scenario-stability step diffs against; run it after deliberately editing
+# a document under testdata/scenarios/.
+scenario-hashes:
+	for f in testdata/scenarios/*.json; do $(GO) run ./cmd/appgen -hash "$$f"; done > testdata/scenarios/HASHES
 
 check: build vet lint test

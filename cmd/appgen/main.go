@@ -1,12 +1,18 @@
-// Command appgen generates and inspects synthetic evaluation apps: structure
-// (screens, activities, functionalities), method universe, crash sites, and
-// a Globally-Sparse / Locally-Dense check of the ground-truth UI transition
-// graph (the property Section 4.2's Theorem 1 relies on).
+// Command appgen generates, inspects and compiles synthetic evaluation apps.
+// Inspection reports structure (screens, activities, functionalities), the
+// method universe, crash sites, and a Globally-Sparse / Locally-Dense check
+// of the ground-truth UI transition graph (the property Section 4.2's
+// Theorem 1 relies on). It is also the scenario compiler: it validates,
+// hashes and round-trips the versioned scenario files of internal/scenario.
 //
 // Usage:
 //
 //	appgen -app Zedge
 //	appgen -name MyApp -seed 7 -subspaces 6   # generate a custom app
+//	appgen -compile file.json                 # compile a scenario document
+//	appgen -validate file.json                # validate, report all issues
+//	appgen -hash file.json                    # print the canonical hash
+//	appgen -emit Zedge                        # write a catalog app as a scenario
 package main
 
 import (
@@ -18,9 +24,13 @@ import (
 
 	"taopt/internal/app"
 	"taopt/internal/apps"
+	"taopt/internal/cli"
 	"taopt/internal/graph"
+	"taopt/internal/scenario"
 	"taopt/internal/ui"
 )
+
+var fatalf = cli.Fatalf("appgen")
 
 func main() {
 	var (
@@ -29,16 +39,35 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generation seed for -name")
 		subspaces = flag.Int("subspaces", 0, "functionalities for -name (0 = default)")
 		screens   = flag.Int("screens", 0, "max screens per functionality for -name (0 = default)")
+
+		compile  = flag.String("compile", "", "compile a scenario file and describe the result")
+		validate = flag.String("validate", "", "validate a scenario file, reporting every issue")
+		hashFile = flag.String("hash", "", "print a scenario file's canonical content hash")
+		emit     = flag.String("emit", "", "emit a catalog app as a version-1 scenario document on stdout")
 	)
 	flag.Parse()
+
+	switch {
+	case *compile != "":
+		compileCmd(*compile)
+		return
+	case *validate != "":
+		validateCmd(*validate)
+		return
+	case *hashFile != "":
+		hashCmd(*hashFile)
+		return
+	case *emit != "":
+		emitCmd(*emit)
+		return
+	}
 
 	var aut *app.App
 	switch {
 	case *appName != "":
 		a, err := apps.Load(*appName)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "appgen: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		aut = a
 	case *name != "":
@@ -58,6 +87,74 @@ func main() {
 	}
 
 	inspect(aut)
+}
+
+// compileScenario reads and compiles one scenario file.
+func compileScenario(path string) (*scenario.Compiled, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Compile(data)
+}
+
+// compileCmd compiles a scenario file and summarises the compiled value.
+func compileCmd(path string) {
+	c, err := compileScenario(path)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	fmt.Printf("kind:   %s (schema v%d)\n", c.Kind, c.Version)
+	fmt.Printf("name:   %s\n", c.Name)
+	fmt.Printf("hash:   %s\n", c.Hash)
+	switch {
+	case c.App != nil:
+		s := c.App.Spec
+		fmt.Printf("app:    seed %d, %d functionalities, %d–%d screens, login %v\n",
+			s.Seed, s.Subspaces, s.ScreensMin, s.ScreensMax, c.App.Login)
+	case c.FaultPlan != nil:
+		cfg := c.FaultPlan.Config
+		fmt.Printf("faults: failure rate %g, %d context windows, enabled %v\n",
+			cfg.FailureRate, len(cfg.Context), cfg.Enabled())
+	case c.Campaign != nil:
+		cc := c.Campaign
+		fmt.Printf("grid:   %d catalog + %d inline apps × %d tools × %d settings, %d fault variants\n",
+			len(cc.Apps), len(cc.InlineApps), len(cc.Tools), len(cc.Settings), len(cc.FaultGrid))
+	}
+}
+
+// validateCmd validates a scenario file, printing every issue with its JSON
+// path. Exit status 1 on any issue.
+func validateCmd(path string) {
+	if _, err := compileScenario(path); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	fmt.Printf("%s: ok\n", path)
+}
+
+// hashCmd prints the canonical content hash of a scenario file in the
+// conventional "<hash>  <path>" checksum shape. The file is compiled first:
+// a hash of an invalid document would pin garbage.
+func hashCmd(path string) {
+	c, err := compileScenario(path)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	fmt.Printf("%s  %s\n", c.Hash, path)
+}
+
+// emitCmd writes a catalog app back out as a scenario document — the
+// round-trip that generated the embedded catalog files.
+func emitCmd(name string) {
+	e, err := apps.Lookup(name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	out, err := scenario.EmitApp(&scenario.App{Spec: e.Spec, Login: e.Login})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	os.Stdout.Write(out)
 }
 
 func inspect(a *app.App) {

@@ -12,6 +12,8 @@
 // table6, single, preserve, chaos, all.
 //
 //	experiments -exp chaos -apps Zedge -minutes 20   # fault-injection study
+//	experiments -exp chaos -scenario grid.json       # scenario-defined fault grid
+//	experiments -exp grid -scenario campaign.json    # scenario-defined campaign
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/report"
+	"taopt/internal/scenario"
 	"taopt/internal/sim"
 )
 
@@ -36,9 +39,9 @@ import (
 // several seeded campaigns and prints per-(tool, setting) deltas vs the
 // baseline. It is the calibration instrument behind EXPERIMENTS.md; the
 // paper tables come from the named experiments.
-func gridExperiment(w io.Writer, cfg harness.CampaignConfig, seeds int) error {
+func gridExperiment(w io.Writer, cfg harness.CampaignConfig, seeds int, settings []harness.Setting) error {
 	ms := harness.NewMultiSeed(cfg, seeds)
-	return ms.Render(w, []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource})
+	return ms.Render(w, settings)
 }
 
 // ablateExperiment quantifies the design choices DESIGN.md calls out by
@@ -112,14 +115,46 @@ var experiments = map[string]func(io.Writer, *harness.Campaign) error{
 	"table6":   report.Table6,
 	"single":   report.SingleLong,
 	"preserve": report.Preservation,
-	"chaos":    report.Chaos,
 	"all":      report.All,
+}
+
+// defaultChaosGridFile is the scenario document the chaos experiment sweeps
+// when neither -scenario nor a custom grid names one. It pins the same grid
+// as report.DefaultChaosGrid (a test holds the two equal), so the report is
+// byte-identical whether the grid comes from the file or the fallback.
+const defaultChaosGridFile = "testdata/scenarios/chaos-grid.json"
+
+// chaosGrid resolves the chaos experiment's variant grid: the -scenario
+// campaign's faultGrid if it has one, else the checked-in default grid
+// scenario, else (when that file is out of reach) the built-in grid.
+func chaosGrid(sc *scenario.Campaign) ([]report.ChaosVariant, error) {
+	if sc == nil || len(sc.FaultGrid) == 0 {
+		raw, err := os.ReadFile(defaultChaosGridFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v; using the built-in chaos grid\n", err)
+			return report.DefaultChaosGrid(), nil
+		}
+		g, err := scenario.CompileCampaign(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", defaultChaosGridFile, err)
+		}
+		sc = g
+	}
+	if len(sc.FaultGrid) == 0 {
+		return nil, fmt.Errorf("scenario %q has no faultGrid to sweep", sc.Name)
+	}
+	grid := make([]report.ChaosVariant, 0, len(sc.FaultGrid))
+	for _, fp := range sc.FaultGrid {
+		grid = append(grid, report.ChaosVariant{Label: fp.Name, Config: fp.Config})
+	}
+	return grid, nil
 }
 
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment to regenerate: fig3|table1|table2|fig5|fig6|table4|table5|table6|single|preserve|chaos|ablate|all|grid")
 		seeds     = flag.Int("seeds", 1, "number of seeded campaigns for -exp grid")
+		scenFile  = flag.String("scenario", "", "campaign scenario file supplying the grid (apps, tools, budgets, fault plans); explicit flags override its fields")
 		appsFlag  = flag.String("apps", "", "comma-separated app subset (default: all 18)")
 		toolsFlag = flag.String("tools", "", "comma-separated tool subset (default: monkey,ape,wctester)")
 		minutes   = flag.Int("minutes", 60, "wall-clock budget l_p in minutes")
@@ -149,9 +184,25 @@ func main() {
 	}()
 
 	fn, ok := experiments[*exp]
-	if !ok && *exp != "grid" {
+	if !ok && *exp != "grid" && *exp != "chaos" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
 		os.Exit(1)
+	}
+
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	var scCampaign *scenario.Campaign
+	if *scenFile != "" {
+		raw, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if scCampaign, err = scenario.CompileCampaign(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", *scenFile, err)
+			os.Exit(1)
+		}
 	}
 
 	cfg := harness.CampaignConfig{
@@ -170,8 +221,58 @@ func main() {
 		fc := faults.DefaultConfig(*faultRate)
 		cfg.Faults = &fc
 	}
+	settings := []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource}
+	if scCampaign != nil {
+		// Scenario fields fill any axis the command line left alone; a flag
+		// the user set explicitly always wins over the file.
+		scCfg, err := harness.FromScenario(scCampaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.ScenarioApps = scCfg.ScenarioApps
+		cfg.SampleEvery = scCfg.SampleEvery
+		if !setFlags["apps"] && len(scCfg.Apps) > 0 {
+			cfg.Apps = scCfg.Apps
+		}
+		if !setFlags["tools"] && len(scCfg.Tools) > 0 {
+			cfg.Tools = scCfg.Tools
+		}
+		if !setFlags["instances"] && scCfg.Instances > 0 {
+			cfg.Instances = scCfg.Instances
+		}
+		if !setFlags["minutes"] && scCfg.Duration > 0 {
+			cfg.Duration = scCfg.Duration
+		}
+		if !setFlags["workers"] && scCfg.Workers > 0 {
+			cfg.Workers = scCfg.Workers
+		}
+		if !setFlags["seed"] && scCfg.Seed != 0 {
+			cfg.Seed = scCfg.Seed
+		}
+		if !setFlags["faults"] && scCfg.Faults != nil {
+			cfg.Faults = scCfg.Faults
+		}
+		if len(scCampaign.Settings) > 0 {
+			if settings, err = harness.ScenarioSettings(scCampaign); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
+	}
+
+	if *exp == "chaos" {
+		grid, err := chaosGrid(scCampaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fn = func(w io.Writer, c *harness.Campaign) error {
+			return report.ChaosGrid(w, c, grid)
+		}
 	}
 
 	if *traceOut != "" {
@@ -193,7 +294,7 @@ func main() {
 	}
 
 	if *exp == "grid" {
-		if err := gridExperiment(os.Stdout, cfg, *seeds); err != nil {
+		if err := gridExperiment(os.Stdout, cfg, *seeds, settings); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

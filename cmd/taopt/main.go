@@ -7,6 +7,8 @@
 //	taopt -app Zedge -tool ape -setting taopt-duration -duration 60
 //	taopt -app demo -tool monkey -setting baseline
 //	taopt -app Zedge -tool ape -setting taopt-duration -faults 0.2
+//	taopt -scenario my-app.json -tool ape -setting taopt-duration
+//	taopt -app Zedge -faultplan outage.json -tool ape -setting taopt-duration
 //	taopt -app Zedge -tool ape -setting taopt-duration -transport wire -wirelog run.wirelog
 //	taopt -list
 package main
@@ -27,6 +29,7 @@ import (
 	"taopt/internal/faults"
 	"taopt/internal/harness"
 	"taopt/internal/report"
+	"taopt/internal/scenario"
 	"taopt/internal/sim"
 	"taopt/internal/tools"
 	"taopt/internal/ui"
@@ -35,6 +38,8 @@ import (
 func main() {
 	var (
 		appName   = flag.String("app", "demo", `evaluation app name from -list, or "demo" for the Figure 2 shopping app`)
+		scenFile  = flag.String("scenario", "", "run the app defined by this scenario file (kind app) instead of -app")
+		planFile  = flag.String("faultplan", "", "inject the fault plan defined by this scenario file (kind fault-plan)")
 		tool      = flag.String("tool", "monkey", "testing tool: "+strings.Join(tools.Names(), ", "))
 		setting   = flag.String("setting", "baseline", "baseline | taopt-duration | taopt-resource | activity-partition | pats | single-long")
 		instances = flag.Int("instances", harness.DefaultInstances, "concurrent testing instances (d_max)")
@@ -82,18 +87,34 @@ func main() {
 		return
 	}
 
-	var aut *app.App
-	if *appName == "demo" {
+	var (
+		aut      *app.App
+		scenHash string
+	)
+	switch {
+	case *scenFile != "":
+		raw, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sa, err := scenario.CompileApp(raw)
+		if err != nil {
+			fatalf("%s: %v", *scenFile, err)
+		}
+		aut = sa.Generate()
+		scenHash = sa.Hash
+	case *appName == "demo":
 		aut = app.MotivatingExample()
-	} else {
+	default:
 		var err error
 		aut, err = apps.Load(*appName)
 		if err != nil {
 			fatalf("%v (use -list to see available apps)", err)
 		}
+		scenHash = apps.Hash(*appName)
 	}
 
-	st, err := parseSetting(*setting)
+	st, err := harness.ParseSetting(*setting)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -106,7 +127,23 @@ func main() {
 		Duration:      sim.Duration(*duration) * sim.Duration(60e9),
 		MachineBudget: sim.Duration(*budget) * sim.Duration(60e9),
 		Seed:          *seed,
+		ScenarioHash:  scenHash,
 		Telemetry:     *telemetry || *decisions != "" || *traceOut != "",
+	}
+	if *planFile != "" && *faultRate > 0 {
+		fatalf("-faultplan and -faults are exclusive (the plan file already fixes the fault mix)")
+	}
+	if *planFile != "" {
+		raw, err := os.ReadFile(*planFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fp, err := scenario.CompileFaultPlan(raw)
+		if err != nil {
+			fatalf("%s: %v", *planFile, err)
+		}
+		fc := fp.Config
+		cfg.Faults = &fc
 	}
 	if *faultRate > 0 {
 		fc := faults.DefaultConfig(*faultRate)
@@ -278,25 +315,6 @@ func main() {
 			fmt.Printf("subspace %d: entry=%v members=%d (initial %d) owner=%d found=%v span=%v\n",
 				sub.ID, sub.Entry, len(sub.Members), sub.InitialMembers, sub.Owner, sub.FoundAt, span)
 		}
-	}
-}
-
-func parseSetting(s string) (harness.Setting, error) {
-	switch s {
-	case "baseline":
-		return harness.BaselineParallel, nil
-	case "taopt-duration":
-		return harness.TaOPTDuration, nil
-	case "taopt-resource":
-		return harness.TaOPTResource, nil
-	case "activity-partition":
-		return harness.ActivityPartition, nil
-	case "single-long":
-		return harness.SingleLong, nil
-	case "pats":
-		return harness.PATSMasterSlave, nil
-	default:
-		return 0, fmt.Errorf("unknown setting %q", s)
 	}
 }
 

@@ -1,0 +1,13 @@
+package app
+
+import "hash/fnv"
+
+// SeedFor derives the stable per-app generation seed used by the catalog and
+// by scenario files that omit an explicit seed: FNV-64a of the app name,
+// halved into the non-negative int64 range. Keeping the derivation here lets
+// the catalog and the scenario compiler agree without importing each other.
+func SeedFor(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() >> 1)
+}

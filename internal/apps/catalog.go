@@ -4,15 +4,26 @@
 // requirement, and calibrates the generator so the apps' relative method
 // universes track the magnitudes of Table 4 (small apps around a few
 // thousand methods, Zedge the largest at ~90k).
+//
+// The entries live as embedded scenario documents under scenarios/ — one
+// versioned JSON file per app, compiled at init through internal/scenario.
+// A differential test pins the compiled catalog byte-identical to the
+// hard-coded table the files were generated from, and each entry carries its
+// document's canonical hash, which the harness stamps into run exports.
 package apps
 
 import (
+	"embed"
 	"fmt"
-	"hash/fnv"
 	"sort"
+	"strings"
 
 	"taopt/internal/app"
+	"taopt/internal/scenario"
 )
+
+//go:embed scenarios/*.json
+var scenarioFS embed.FS
 
 // Entry describes one evaluation app.
 type Entry struct {
@@ -20,58 +31,30 @@ type Entry struct {
 	// Login mirrors Table 3's asterisk: the app requires a login to access
 	// most features (the harness auto-logs in, as the paper does).
 	Login bool
+	// Hash is the canonical content hash of the entry's scenario document.
+	Hash string
 }
 
-// seedFor derives a stable per-app generation seed from the app name.
-func seedFor(name string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return int64(h.Sum64() >> 1)
-}
+// catalog holds the compiled entries in embedded-file (alphabetical) order.
+var catalog []Entry
 
-// spec builds a calibrated Spec. Size knobs:
-//
-//	k        functionalities
-//	scrMin/scrMax   screens per functionality
-//	vmMin/vmMax     methods covered per screen visit
-//	wmMin/wmMax     methods covered per interaction
-func spec(name, version, category, downloads string, login bool,
-	k, scrMin, scrMax, vmMin, vmMax, wmMin, wmMax, extra, crashes int) Entry {
-	s := app.DefaultSpec(name, seedFor(name))
-	s.Version = version
-	s.Category = category
-	s.Downloads = downloads
-	s.Subspaces = k
-	s.ScreensMin, s.ScreensMax = scrMin, scrMax
-	s.VisitMethodsMin, s.VisitMethodsMax = vmMin, vmMax
-	s.WidgetMethodsMin, s.WidgetMethodsMax = wmMin, wmMax
-	s.ExtraMethods = extra
-	s.CrashSites = crashes
-	s.LoginRequired = login
-	return Entry{Spec: s, Login: login}
-}
-
-// catalog mirrors Table 3 (names, versions, categories, download bands,
-// login gates) with generator sizes calibrated to Table 4's coverage bands.
-var catalog = []Entry{
-	spec("AbsWorkout", "4.2.0", "Health & Fitness", "10m+", false, 6, 75, 110, 4, 10, 2, 5, 1200, 16),
-	spec("AccuWeather", "7.4.1-5", "Weather", "100m+", false, 8, 87, 130, 6, 13, 4, 7, 2500, 12),
-	spec("AutoScout24", "9.8.6", "Auto & Vehicles", "10m+", false, 10, 97, 152, 8, 16, 5, 9, 4000, 10),
-	spec("Duolingo", "3.75.1", "Education", "100m+", false, 7, 87, 120, 6, 12, 3, 7, 2200, 12),
-	spec("Filters For Selfie", "1.0.0", "Beauty", "10m+", false, 4, 42, 65, 3, 6, 2, 3, 400, 10),
-	spec("GoodRx", "5.3.6", "Medical", "10m+", false, 7, 82, 120, 6, 12, 4, 7, 2200, 14),
-	spec("Google Chrome", "65.0.3325", "Communication", "10b+", false, 6, 75, 110, 5, 10, 2, 5, 1500, 10),
-	spec("Google Translate", "6.5.0", "Books & Reference", "1b+", false, 6, 75, 110, 5, 11, 2, 5, 1500, 16),
-	spec("Marvel Comics", "3.10.3", "Comics", "10m+", false, 5, 65, 87, 4, 8, 2, 4, 800, 14),
-	spec("Merriam-Webster", "4.1.2", "Books & Reference", "10m+", false, 5, 65, 97, 4, 9, 2, 5, 1000, 14),
-	spec("Ms Word", "16.0.15", "Personal", "1b+", false, 7, 75, 120, 5, 11, 3, 6, 1800, 10),
-	spec("Quizlet", "6.6.2", "Education", "10m+", true, 11, 97, 165, 9, 17, 5, 10, 5000, 12),
-	spec("Sketch", "8.0.A.0.2", "Art & Design", "50m+", false, 5, 65, 97, 4, 9, 2, 4, 1000, 10),
-	spec("TripAdvisor", "25.6.1", "Food & Drink", "100m+", true, 9, 97, 142, 7, 14, 4, 8, 3500, 16),
-	spec("Trivago", "4.9.4", "Travel & Local", "50m+", false, 9, 97, 142, 7, 14, 4, 8, 3500, 12),
-	spec("UC Browser", "13.0.0.1288", "Communication", "1b+", false, 8, 87, 130, 6, 13, 4, 7, 2500, 12),
-	spec("WEBTOON", "2.4.3", "Comics", "100m+", true, 8, 87, 142, 6, 14, 4, 8, 2800, 14),
-	spec("Zedge", "7.34.4", "Personalization", "100m+", false, 12, 130, 197, 10, 20, 5, 11, 6000, 16),
+func init() {
+	files, err := scenarioFS.ReadDir("scenarios")
+	if err != nil {
+		panic(fmt.Sprintf("apps: reading embedded scenarios: %v", err))
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Name() < files[j].Name() })
+	for _, f := range files {
+		data, err := scenarioFS.ReadFile("scenarios/" + f.Name())
+		if err != nil {
+			panic(fmt.Sprintf("apps: reading %s: %v", f.Name(), err))
+		}
+		a, err := scenario.CompileApp(data)
+		if err != nil {
+			panic(fmt.Sprintf("apps: compiling %s: %v", f.Name(), err))
+		}
+		catalog = append(catalog, Entry{Spec: a.Spec, Login: a.Login, Hash: a.Hash})
+	}
 }
 
 // Names returns the catalog's app names in Table 3 (alphabetical) order.
@@ -91,15 +74,35 @@ func Entries() []Entry {
 	return out
 }
 
+// Lookup returns the named catalog entry without generating the app.
+func Lookup(name string) (Entry, error) {
+	for _, e := range catalog {
+		if e.Spec.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("apps: unknown app %q (available: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Hash returns the canonical scenario hash of the named catalog app ("" for
+// an unknown name).
+func Hash(name string) string {
+	for _, e := range catalog {
+		if e.Spec.Name == name {
+			return e.Hash
+		}
+	}
+	return ""
+}
+
 // Load generates the named evaluation app. Generation is deterministic, so
 // repeated loads return structurally identical apps.
 func Load(name string) (*app.App, error) {
-	for _, e := range catalog {
-		if e.Spec.Name == name {
-			return app.Generate(e.Spec), nil
-		}
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("apps: unknown app %q", name)
+	return app.Generate(e.Spec), nil
 }
 
 // MustLoad is Load for static names.

@@ -42,7 +42,7 @@ type faulty struct {
 // per the plan's trace-delivery stream. A delayed event re-enters the inner
 // transport when its delay elapses on the virtual clock.
 func (t *faulty) Publish(ev trace.Event) {
-	drop, delay := t.plan.TraceDelivery()
+	drop, delay := t.plan.TraceDelivery(t.sched.Now())
 	if drop {
 		return
 	}
@@ -89,7 +89,7 @@ func (t *faulty) Send(cmd Command) Reply {
 		}
 		return rep
 	case BlockWidget, BlockMember:
-		if t.plan.CommandLost() {
+		if t.plan.CommandLost(t.sched.Now()) {
 			t.swallow(cmd)
 			return Reply{Instance: cmd.Instance, Err: fmt.Errorf("bus: injected command loss: %w", ErrTimeout)}
 		}

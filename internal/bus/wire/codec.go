@@ -103,9 +103,10 @@ func (k FrameKind) String() string {
 }
 
 // logMagic opens every wire-log file; logVersion is the codec revision.
+// Version 2 added the scenario hash to the header frame.
 const (
 	logMagic   = "TAOPTWL"
-	logVersion = 1
+	logVersion = 2
 )
 
 // maxFrameSize bounds one frame's payload; anything larger marks a corrupt
@@ -139,6 +140,9 @@ type Header struct {
 	Telemetry bool
 	// FaultsEnabled marks a chaos run (the export carries a transport block).
 	FaultsEnabled bool
+	// ScenarioHash is the canonical hash of the scenario document that
+	// defined the run's app (log version 2); empty for apps built in code.
+	ScenarioHash string
 }
 
 // Sample is one recorded timeline point (raw fields, so the wire layer does
@@ -583,6 +587,7 @@ func marshalFrame(f Frame) ([]byte, error) {
 		e.varint(h.DurationNS)
 		e.varint(h.MachineBudgetNS)
 		e.varint(h.SampleEveryNS)
+		e.str(h.ScenarioHash)
 		var flags byte
 		if h.CoreOverride {
 			flags |= 1
@@ -662,6 +667,7 @@ func decodeFrame(payload []byte) (Frame, error) {
 			DurationNS:      d.varint(),
 			MachineBudgetNS: d.varint(),
 			SampleEveryNS:   d.varint(),
+			ScenarioHash:    d.str(),
 		}
 		flags := d.u8()
 		h.CoreOverride = flags&1 != 0

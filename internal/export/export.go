@@ -21,9 +21,11 @@ import (
 // FormatVersion identifies the serialisation schema. Version 2 replaced the
 // fault summary with the transport block (trace delivery accounting plus
 // injected faults); version 3 added the optional telemetry block (decision
-// log + metrics) and the transport's per-kind command mix. Both additions
-// are optional fields, so Read still accepts version-2 files.
-const FormatVersion = 3
+// log + metrics) and the transport's per-kind command mix; version 4 added
+// the optional scenario_hash field — the canonical content hash of the
+// scenario document (internal/scenario) that defined the run's app. All
+// additions are optional fields, so Read still accepts version-2 files.
+const FormatVersion = 4
 
 // minReadVersion is the oldest schema Read accepts.
 const minReadVersion = 2
@@ -35,6 +37,9 @@ type Run struct {
 	Tool    string `json:"tool"`
 	Setting string `json:"setting"`
 	Seed    int64  `json:"seed"`
+	// ScenarioHash names the exact scenario document that defined the run's
+	// app (format v4); empty for apps built in code.
+	ScenarioHash string `json:"scenario_hash,omitempty"`
 
 	WallUsedNS    int64 `json:"wall_used_ns"`
 	MachineUsedNS int64 `json:"machine_used_ns"`
@@ -160,6 +165,7 @@ func FromResult(res *harness.RunResult) *Run {
 		Tool:          res.Config.Tool,
 		Setting:       res.Config.Setting.String(),
 		Seed:          res.Config.Seed,
+		ScenarioHash:  res.Config.ScenarioHash,
 		WallUsedNS:    int64(res.WallUsed),
 		MachineUsedNS: int64(res.MachineUsed),
 		Coverage:      res.Union.Count(),

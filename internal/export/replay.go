@@ -317,6 +317,7 @@ func (e *wireReplay) export() *Run {
 		Tool:          e.hdr.Tool,
 		Setting:       e.hdr.Setting,
 		Seed:          e.hdr.Seed,
+		ScenarioHash:  e.hdr.ScenarioHash,
 		WallUsedNS:    end.WallNS,
 		MachineUsedNS: end.MachineNS,
 		Coverage:      end.Coverage,

@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"fmt"
+
+	"taopt/internal/sim"
+)
+
+// ContextKind enumerates the declarative device-context fault families: farm
+// conditions scheduled as windows on the virtual clock rather than drawn from
+// a random stream.
+type ContextKind int
+
+// Context fault kinds.
+const (
+	// NetworkLoss cuts the instance's uplink for the window: trace events are
+	// dropped, downstream block commands are swallowed, and allocation
+	// attempts fail.
+	NetworkLoss ContextKind = iota
+	// BatteryLow throttles the device for the window: trace events are
+	// delivered late by the event's fixed Delay. It never drops anything.
+	BatteryLow
+)
+
+func (k ContextKind) String() string {
+	switch k {
+	case NetworkLoss:
+		return "network-loss"
+	case BatteryLow:
+		return "battery-low"
+	default:
+		return fmt.Sprintf("context-kind(%d)", int(k))
+	}
+}
+
+// ContextEvent is one scheduled context window: Kind holds during
+// [Start, Start+Duration) on the virtual clock. Delay is the fixed trace
+// delay applied by a BatteryLow window (ignored for NetworkLoss).
+//
+// Context decisions are checked before any random draw, so adding a window
+// to a config never perturbs the RNG streams of the probabilistic fault
+// classes — a chaos run with and without context windows sees identical
+// death/hang/drop draws outside the windows.
+type ContextEvent struct {
+	Kind     ContextKind
+	Start    sim.Duration
+	Duration sim.Duration
+	Delay    sim.Duration
+}
+
+// active reports whether the window covers virtual time now.
+func (e ContextEvent) active(now sim.Duration) bool {
+	return now >= e.Start && now < e.Start+e.Duration
+}
+
+// contextActive returns the first configured window of the given kind that
+// covers now.
+func (p *Plan) contextActive(now sim.Duration, kind ContextKind) (ContextEvent, bool) {
+	for _, e := range p.cfg.Context {
+		if e.Kind == kind && e.active(now) {
+			return e, true
+		}
+	}
+	return ContextEvent{}, false
+}

@@ -91,6 +91,11 @@ type Config struct {
 	// reply. Lifecycle commands are exempt — allocation noise has its own
 	// outage model, and losing a Deallocate would fabricate undead leases.
 	CmdLossRate float64
+	// Context schedules declarative device-context windows (network loss,
+	// low battery) on the virtual clock. Context decisions are checked before
+	// any random draw, so configuring windows never perturbs the streams of
+	// the probabilistic fault classes above.
+	Context []ContextEvent
 }
 
 // DefaultConfig returns a calibrated fault mix scaled by the headline
@@ -120,7 +125,7 @@ func DefaultConfig(failureRate float64) Config {
 // Enabled reports whether the configuration injects any fault at all.
 func (c Config) Enabled() bool {
 	return c.FailureRate > 0 || c.AllocFailRate > 0 || c.TraceDropRate > 0 ||
-		c.TraceDelayRate > 0 || c.CmdLossRate > 0
+		c.TraceDelayRate > 0 || c.CmdLossRate > 0 || len(c.Context) > 0
 }
 
 // Fate is an instance-level fault scheduled at allocation time.
@@ -222,7 +227,14 @@ func (p *Plan) InstanceFate(id int) (Fate, bool) {
 // fails transiently. A failed attempt opens an AllocOutage window during
 // which every further attempt fails too.
 func (p *Plan) AllocationFails(now sim.Duration) bool {
-	if p == nil || p.cfg.AllocFailRate <= 0 {
+	if p == nil {
+		return false
+	}
+	if _, ok := p.contextActive(now, NetworkLoss); ok {
+		p.stats.AllocFailures++
+		return true
+	}
+	if p.cfg.AllocFailRate <= 0 {
 		return false
 	}
 	if now < p.outageUntil {
@@ -239,10 +251,24 @@ func (p *Plan) AllocationFails(now sim.Duration) bool {
 	return true
 }
 
-// TraceDelivery decides the fate of one trace event en route to the
-// analyzer: dropped, delayed by the returned amount, or delivered intact.
-func (p *Plan) TraceDelivery() (drop bool, delay sim.Duration) {
-	if p == nil || (p.cfg.TraceDropRate <= 0 && p.cfg.TraceDelayRate <= 0) {
+// TraceDelivery decides the fate of one trace event sent at virtual time now
+// en route to the analyzer: dropped, delayed by the returned amount, or
+// delivered intact. Context windows are consulted first and decide without a
+// draw: an active network-loss window drops the event, an active battery-low
+// window delays it by the window's fixed Delay.
+func (p *Plan) TraceDelivery(now sim.Duration) (drop bool, delay sim.Duration) {
+	if p == nil {
+		return false, 0
+	}
+	if _, ok := p.contextActive(now, NetworkLoss); ok {
+		p.stats.TraceDrops++
+		return true, 0
+	}
+	if ev, ok := p.contextActive(now, BatteryLow); ok && ev.Delay > 0 {
+		p.stats.TraceDelays++
+		return false, ev.Delay
+	}
+	if p.cfg.TraceDropRate <= 0 && p.cfg.TraceDelayRate <= 0 {
 		return false, 0
 	}
 	if p.cfg.TraceDropRate > 0 && p.tracer.Bool(p.cfg.TraceDropRate) {
@@ -256,11 +282,20 @@ func (p *Plan) TraceDelivery() (drop bool, delay sim.Duration) {
 	return false, 0
 }
 
-// CommandLost decides whether one downstream block command is swallowed by
-// the simulated farm network. Drawn from the dedicated cmds stream, so
-// enabling command loss never perturbs the other fault classes' draws.
-func (p *Plan) CommandLost() bool {
-	if p == nil || p.cfg.CmdLossRate <= 0 {
+// CommandLost decides whether one downstream block command sent at virtual
+// time now is swallowed by the simulated farm network. An active
+// network-loss window swallows it without a draw; otherwise the decision is
+// drawn from the dedicated cmds stream, so enabling command loss never
+// perturbs the other fault classes' draws.
+func (p *Plan) CommandLost(now sim.Duration) bool {
+	if p == nil {
+		return false
+	}
+	if _, ok := p.contextActive(now, NetworkLoss); ok {
+		p.stats.CmdLosses++
+		return true
+	}
+	if p.cfg.CmdLossRate <= 0 {
 		return false
 	}
 	if !p.cmds.Bool(p.cfg.CmdLossRate) {

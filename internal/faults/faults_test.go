@@ -19,7 +19,7 @@ func TestNilPlanIsInert(t *testing.T) {
 	if p.AllocationFails(0) {
 		t.Fatal("nil plan failed an allocation")
 	}
-	if drop, delay := p.TraceDelivery(); drop || delay != 0 {
+	if drop, delay := p.TraceDelivery(0); drop || delay != 0 {
 		t.Fatal("nil plan touched trace delivery")
 	}
 	if p.Stats() != (Stats{}) {
@@ -41,7 +41,7 @@ func TestZeroConfigInjectsNothing(t *testing.T) {
 		if p.AllocationFails(sim.Duration(i) * sim.Duration(1e9)) {
 			t.Fatal("allocation failed under zero config")
 		}
-		if drop, delay := p.TraceDelivery(); drop || delay != 0 {
+		if drop, delay := p.TraceDelivery(0); drop || delay != 0 {
 			t.Fatal("trace delivery perturbed under zero config")
 		}
 	}
@@ -82,8 +82,8 @@ func TestPlanDeterminism(t *testing.T) {
 		if a.AllocationFails(now) != b.AllocationFails(now) {
 			t.Fatalf("allocation decision %d diverged", i)
 		}
-		dropA, delayA := a.TraceDelivery()
-		dropB, delayB := b.TraceDelivery()
+		dropA, delayA := a.TraceDelivery(0)
+		dropB, delayB := b.TraceDelivery(0)
 		if dropA != dropB || delayA != delayB {
 			t.Fatalf("trace decision %d diverged", i)
 		}
@@ -173,7 +173,7 @@ func TestTraceDeliveryRates(t *testing.T) {
 	const n = 10000
 	drops, delays := 0, 0
 	for i := 0; i < n; i++ {
-		drop, delay := p.TraceDelivery()
+		drop, delay := p.TraceDelivery(0)
 		if drop {
 			drops++
 			if delay != 0 {

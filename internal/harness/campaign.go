@@ -77,8 +77,16 @@ type CampaignConfig struct {
 	Instances int
 	// Duration is l_p (default 1h). Scale it down for quick runs.
 	Duration sim.Duration
+	// SampleEvery is the timeline sampling period for every run (default
+	// 10s, see DefaultSampleEvery).
+	SampleEvery sim.Duration
 	// Seed is the campaign seed; each cell derives its own.
 	Seed int64
+	// ScenarioApps maps app names to inline definitions from a campaign
+	// scenario document. A name present here resolves to its scenario spec
+	// instead of the catalog; cells generate the app from the spec on
+	// demand, exactly like catalog loads.
+	ScenarioApps map[string]ScenarioApp
 	// Faults, when non-nil and enabled, injects device-farm failures into
 	// every run of the campaign (chaos campaigns); each cell derives its
 	// own deterministic fault plan from its cell seed.
@@ -198,20 +206,22 @@ func (c *Campaign) FleetStats() FleetStats {
 // writer, so fleet workers can run it concurrently: a cell is one
 // self-contained simulation whose seed derives from its key alone.
 func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
-	aut, err := apps.Load(key.App)
+	aut, hash, err := c.loadApp(key.App)
 	if err != nil {
 		return nil, err
 	}
 	res, err := Run(RunConfig{
-		App:        aut,
-		Tool:       key.Tool,
-		Setting:    key.Setting,
-		Instances:  c.cfg.Instances,
-		Duration:   c.cfg.Duration,
-		Seed:       c.cellSeed(key),
-		CoreConfig: c.cfg.CoreConfig,
-		Faults:     c.cfg.Faults,
-		Transport:  c.cfg.Transport,
+		App:          aut,
+		Tool:         key.Tool,
+		Setting:      key.Setting,
+		Instances:    c.cfg.Instances,
+		Duration:     c.cfg.Duration,
+		SampleEvery:  c.cfg.SampleEvery,
+		Seed:         c.cellSeed(key),
+		ScenarioHash: hash,
+		CoreConfig:   c.cfg.CoreConfig,
+		Faults:       c.cfg.Faults,
+		Transport:    c.cfg.Transport,
 	})
 	if err != nil {
 		return nil, err

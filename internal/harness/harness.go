@@ -49,6 +49,17 @@ const (
 	PATSMasterSlave
 )
 
+// ParseSetting resolves a setting name as printed by Setting.String —
+// the vocabulary scenario campaign files and the -setting flag share.
+func ParseSetting(name string) (Setting, error) {
+	for s := BaselineParallel; s <= PATSMasterSlave; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: unknown setting %q (want baseline, taopt-duration, taopt-resource, activity-partition, single-long, or pats)", name)
+}
+
 func (s Setting) String() string {
 	switch s {
 	case BaselineParallel:
@@ -115,6 +126,11 @@ type RunConfig struct {
 	MachineBudget sim.Duration
 	// Seed drives every random decision of the run.
 	Seed int64
+	// ScenarioHash is the canonical content hash of the scenario document
+	// that defined the run's app (internal/scenario). It is carried verbatim
+	// into the export and wire-log headers so every result file names the
+	// exact scenario that produced it; empty for apps built in code.
+	ScenarioHash string
 	// SampleEvery is the timeline sampling period (default 10s).
 	SampleEvery sim.Duration
 	// CoreConfig optionally overrides TaOPT's coordinator configuration
@@ -369,6 +385,7 @@ func newRunner(cfg RunConfig) *runner {
 			CoreOverride:    cfg.CoreConfig != nil,
 			Telemetry:       cfg.Telemetry,
 			FaultsEnabled:   cfg.Faults != nil && cfg.Faults.Enabled(),
+			ScenarioHash:    cfg.ScenarioHash,
 		})
 		base = r.rec.Inner(base)
 	}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"taopt/internal/app"
+	"taopt/internal/apps"
+	"taopt/internal/scenario"
+)
+
+// ScenarioApp is an app defined inline by a campaign scenario document: the
+// fully resolved spec plus the canonical hash of the defining document.
+type ScenarioApp struct {
+	Spec app.Spec
+	Hash string
+}
+
+// loadApp resolves one campaign app name: an inline scenario app if the
+// campaign carries one under that name (generated fresh per cell, like
+// catalog loads), the catalog otherwise. It returns the generated app and
+// the scenario hash stamped into the cell's export.
+func (c *Campaign) loadApp(name string) (*app.App, string, error) {
+	if sa, ok := c.cfg.ScenarioApps[name]; ok {
+		return app.Generate(sa.Spec), sa.Hash, nil
+	}
+	aut, err := apps.Load(name)
+	if err != nil {
+		return nil, "", err
+	}
+	return aut, apps.Hash(name), nil
+}
+
+// FromScenario lowers a compiled campaign scenario onto a CampaignConfig.
+// Absent scenario fields stay zero so the usual campaign defaults (or the
+// caller's flag overrides) apply; inline apps join the app axis under their
+// own names. The scenario's fault grid is not lowered here — it drives
+// report.ChaosGrid — but a single fault plan is.
+func FromScenario(sc *scenario.Campaign) (CampaignConfig, error) {
+	cfg := CampaignConfig{
+		Apps:        append([]string(nil), sc.Apps...),
+		Tools:       append([]string(nil), sc.Tools...),
+		Instances:   sc.Instances,
+		Duration:    sc.Duration,
+		SampleEvery: sc.SampleEvery,
+		Workers:     sc.Workers,
+		Seed:        sc.Seed,
+	}
+	if len(sc.InlineApps) > 0 {
+		cfg.ScenarioApps = make(map[string]ScenarioApp, len(sc.InlineApps))
+		for _, a := range sc.InlineApps {
+			name := a.Spec.Name
+			if _, dup := cfg.ScenarioApps[name]; dup {
+				return CampaignConfig{}, fmt.Errorf("harness: scenario %q defines app %q twice", sc.Name, name)
+			}
+			cfg.ScenarioApps[name] = ScenarioApp{Spec: a.Spec, Hash: a.Hash}
+			cfg.Apps = append(cfg.Apps, name)
+		}
+	}
+	if sc.Faults != nil {
+		f := *sc.Faults
+		cfg.Faults = &f
+	}
+	return cfg, nil
+}
+
+// ScenarioSettings parses a campaign scenario's setting names into harness
+// settings (the two vocabularies are pinned against each other by test).
+func ScenarioSettings(sc *scenario.Campaign) ([]Setting, error) {
+	out := make([]Setting, 0, len(sc.Settings))
+	for _, name := range sc.Settings {
+		s, err := ParseSetting(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -20,6 +20,13 @@ func TestBuslayerUngovernedPackageIsFree(t *testing.T) {
 	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/harness", "testdata/buslayer/free")
 }
 
+func TestBuslayerScenarioCompilesConfigsOnly(t *testing.T) {
+	// The scenario compiler may reach app, faults and sim — the config types
+	// it lowers documents into — but never the transport or the harness that
+	// consumes its output.
+	linttest.Run(t, lint.Buslayer(lint.DefaultConfig()), "taopt/internal/scenario", "testdata/buslayer/scenario")
+}
+
 func TestBuslayerWireIsNarrowerThanBus(t *testing.T) {
 	// bus/wire carries its own longest-match rule: the parent seam and the
 	// base types are fine, but faults — allowed to bus itself — is not.

@@ -92,9 +92,14 @@ func DefaultConfig() *Config {
 				Hint:  "app models depend only on the base types",
 			},
 			{
+				Pkg:   "taopt/internal/scenario",
+				Allow: []string{"taopt/internal/app", "taopt/internal/faults", "taopt/internal/sim"},
+				Hint:  "scenario compiles data into app/faults/sim config types; it must never import device, bus or harness — the harness lowers compiled campaigns, not the other way around",
+			},
+			{
 				Pkg:   "taopt/internal/apps",
-				Allow: []string{"taopt/internal/app"},
-				Hint:  "the catalog only constructs app models",
+				Allow: []string{"taopt/internal/app", "taopt/internal/scenario"},
+				Hint:  "the catalog compiles embedded scenario files into app models",
 			},
 			{
 				Pkg:   "taopt/internal/graph",

@@ -1,0 +1,14 @@
+// Package scenario is buslayer testdata; the harness checks it under the
+// import path taopt/internal/scenario. The scenario compiler lowers
+// documents into app/faults/sim config values; the harness consumes compiled
+// campaigns, so importing harness (or any transport package) inverts the
+// layering.
+package scenario
+
+import (
+	_ "taopt/internal/app"
+	_ "taopt/internal/bus" // want "taopt/internal/scenario must not import taopt/internal/bus"
+	_ "taopt/internal/faults"
+	_ "taopt/internal/harness" // want "taopt/internal/scenario must not import taopt/internal/harness"
+	_ "taopt/internal/sim"
+)

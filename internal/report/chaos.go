@@ -10,30 +10,56 @@ import (
 	"taopt/internal/metrics"
 )
 
-// chaosRates are the instance-failure rates of the robustness experiment.
-// 0% is the paper's (implicitly fault-free) setup; 5% models a healthy
-// commercial device farm; 20% models the flaky in-house labs that Section 8's
-// deployment notes warn about.
-var chaosRates = []float64{0, 0.05, 0.20}
+// ChaosVariant is one column group of the chaos experiment: a labelled fault
+// configuration the campaign grid is re-run under.
+type ChaosVariant struct {
+	Label  string
+	Config faults.Config
+}
 
-// Chaos prints the fault-injection experiment: the campaign grid re-run under
-// increasing instance-failure rates, with coverage, crash and
-// behaviour-preservation deltas against the fault-free run. The fault mix per
-// rate is faults.DefaultConfig; every chaos campaign derives its plans from
-// the same campaign seed, so the table is byte-for-byte reproducible.
+// DefaultChaosGrid returns the paper-calibrated fault sweep: 0% is the
+// (implicitly fault-free) setup; 5% models a healthy commercial device farm;
+// 20% models the flaky in-house labs that Section 8's deployment notes warn
+// about. The fault mix per rate is faults.DefaultConfig. Scenario files can
+// express the same grid (testdata/scenarios/chaos-grid.json pins this by
+// test) or sweep a custom one.
+func DefaultChaosGrid() []ChaosVariant {
+	out := make([]ChaosVariant, 0, 3)
+	for _, rate := range []float64{0, 0.05, 0.20} {
+		out = append(out, ChaosVariant{
+			Label:  fmt.Sprintf("%.0f%%", 100*rate),
+			Config: faults.DefaultConfig(rate),
+		})
+	}
+	return out
+}
+
+// Chaos prints the fault-injection experiment under the default grid. Every
+// chaos campaign derives its plans from the same campaign seed, so the table
+// is byte-for-byte reproducible.
 func Chaos(w io.Writer, c *harness.Campaign) error {
+	return ChaosGrid(w, c, DefaultChaosGrid())
+}
+
+// ChaosGrid prints the fault-injection experiment over an explicit variant
+// grid: the campaign re-run under each variant, with coverage, crash and
+// behaviour-preservation deltas against the first variant (the baseline row
+// — by convention fault-free). A disabled variant config reuses the caller's
+// campaign and its cache.
+func ChaosGrid(w io.Writer, c *harness.Campaign, grid []ChaosVariant) error {
+	if len(grid) == 0 {
+		return fmt.Errorf("report: chaos grid is empty")
+	}
 	header(w, "Chaos: TaOPT under injected device-farm failures")
 
-	// One derived campaign per rate; rate 0 reuses the caller's campaign (and
-	// its cache).
-	campaigns := make([]*harness.Campaign, len(chaosRates))
-	for i, rate := range chaosRates {
-		if rate == 0 {
+	campaigns := make([]*harness.Campaign, len(grid))
+	for i, v := range grid {
+		if !v.Config.Enabled() {
 			campaigns[i] = c
 			continue
 		}
 		cfg := c.Config()
-		fc := faults.DefaultConfig(rate)
+		fc := v.Config
 		cfg.Faults = &fc
 		campaigns[i] = harness.NewCampaign(cfg)
 	}
@@ -49,7 +75,7 @@ func Chaos(w io.Writer, c *harness.Campaign) error {
 		fmt.Fprintln(tw, "Tool\tFailure rate\tCoverage\tΔ cov.\tCrashes\tFailed inst.\tFaults\tOrphans\tJaccard vs fault-free")
 		for _, tool := range c.Tools() {
 			baseCov := 0.0
-			for i, rate := range chaosRates {
+			for i, v := range grid {
 				var cov, crashes, failed, injected, orphans float64
 				var jacc float64
 				for _, appName := range c.Apps() {
@@ -69,15 +95,15 @@ func Chaos(w io.Writer, c *harness.Campaign) error {
 					jacc += metrics.Jaccard(clean.UnionSet, cell.UnionSet)
 				}
 				n := float64(len(c.Apps()))
-				if rate == 0 {
+				if i == 0 {
 					baseCov = cov
 				}
 				delta := "-"
-				if rate > 0 && baseCov > 0 {
+				if i > 0 && baseCov > 0 {
 					delta = fmt.Sprintf("%+.1f%%", 100*(cov-baseCov)/baseCov)
 				}
-				fmt.Fprintf(tw, "%s\t%.0f%%\t%.0f\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
-					toolLabel(tool), 100*rate, cov/n, delta, crashes/n, failed/n, injected/n, orphans/n, jacc/n)
+				fmt.Fprintf(tw, "%s\t%s\t%.0f\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
+					toolLabel(tool), v.Label, cov/n, delta, crashes/n, failed/n, injected/n, orphans/n, jacc/n)
 			}
 		}
 		if err := tw.Flush(); err != nil {

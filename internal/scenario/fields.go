@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// decodeFields unmarshals raw's members into dst's matching fields (matched
+// by json tag; dst is a pointer to a struct of pointer- or slice-typed
+// fields, so an absent member is distinguishable from an explicit zero). It
+// reports every type mismatch and every unknown key as an issue under path,
+// never stopping at the first — the all-errors contract of the package.
+func decodeFields(path string, raw map[string]json.RawMessage, dst any) []Issue {
+	var issues []Issue
+	v := reflect.ValueOf(dst).Elem()
+	t := v.Type()
+	known := make(map[string]bool, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		tag := jsonTag(t.Field(i))
+		if tag == "" {
+			continue
+		}
+		known[tag] = true
+		rawVal, ok := raw[tag]
+		if !ok {
+			continue
+		}
+		if err := json.Unmarshal(rawVal, v.Field(i).Addr().Interface()); err != nil {
+			issues = append(issues, Issue{path + "." + tag, "want " + wantType(t.Field(i).Type)})
+		}
+	}
+	var unknown []string
+	for k := range raw {
+		if !known[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	sort.Strings(unknown)
+	for _, k := range unknown {
+		issues = append(issues, Issue{path + "." + k, "unknown field"})
+	}
+	return issues
+}
+
+// jsonTag returns the json member name of one struct field ("" to skip).
+func jsonTag(f reflect.StructField) string {
+	tag := f.Tag.Get("json")
+	if tag == "" || tag == "-" {
+		return ""
+	}
+	if i := strings.IndexByte(tag, ','); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag
+}
+
+// wantType names the JSON type a struct field expects, for issue messages.
+func wantType(t reflect.Type) string {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return "a boolean"
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return "an integer"
+	case reflect.Float32, reflect.Float64:
+		return "a number"
+	case reflect.String:
+		return "a string"
+	case reflect.Slice, reflect.Array:
+		return "an array"
+	case reflect.Map, reflect.Struct:
+		return "an object"
+	default:
+		return "a " + t.Kind().String()
+	}
+}
+
+// sortedKeys returns a raw object's member names in sorted order, so issue
+// lists and other derived output never depend on map iteration order.
+func sortedKeys(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

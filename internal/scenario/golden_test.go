@@ -1,0 +1,86 @@
+package scenario_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"taopt/internal/scenario"
+)
+
+// goldenFile is the committed hash manifest for the example scenarios; its
+// line format matches `appgen -hash` so the file regenerates with
+//
+//	for f in testdata/scenarios/*.json; do go run ./cmd/appgen -hash "$f"; done > testdata/scenarios/HASHES
+const goldenFile = "HASHES"
+
+// TestScenarioHashesGolden pins every checked-in scenario document to its
+// committed canonical hash: an accidental edit to an example (or a change to
+// the canonicalisation itself) shows up as a hash mismatch here and in the
+// CI scenario-stability step.
+func TestScenarioHashesGolden(t *testing.T) {
+	root := filepath.Join("..", "..")
+	dir := filepath.Join(root, "testdata", "scenarios")
+
+	f, err := os.Open(filepath.Join(dir, goldenFile))
+	if err != nil {
+		t.Fatalf("open golden: %v", err)
+	}
+	defer f.Close()
+
+	listed := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		hash, path, ok := strings.Cut(line, "  ")
+		if !ok {
+			t.Fatalf("golden line %q: want %q separator", line, "  ")
+		}
+		listed[path] = hash
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+
+	paths := make([]string, 0, len(listed))
+	for p := range listed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		raw, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(p)))
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		c, err := scenario.Compile(raw)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if c.Hash != listed[p] {
+			t.Errorf("%s: hash %s, golden says %s (regenerate HASHES if the change is deliberate)", p, c.Hash, listed[p])
+		}
+	}
+
+	// Every example document must be pinned: a new file that is not in the
+	// manifest would otherwise drift silently.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read scenarios dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		if _, ok := listed["testdata/scenarios/"+e.Name()]; !ok {
+			t.Errorf("testdata/scenarios/%s is not listed in %s", e.Name(), goldenFile)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// CanonicalHash returns the canonical content hash of one JSON document:
+// SHA-256 (hex) over a sorted-key, whitespace-free re-encoding. Member order
+// and formatting never change a scenario's identity; any semantic change —
+// a field added, removed or altered — does. Numbers hash as written in the
+// source ("0.5" and "5e-1" are different spellings, and the emitters always
+// write Go's shortest form), strings re-encode through encoding/json.
+//
+// The hash is the cache key of the compiled-scenario world: it is stamped
+// into the v4 export header and the wire-log header, so every result file
+// names the exact scenario document that produced it.
+func CanonicalHash(data []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return "", fmt.Errorf("scenario: hashing document: %w", err)
+	}
+	if dec.More() {
+		return "", fmt.Errorf("scenario: hashing document: trailing data")
+	}
+	var buf bytes.Buffer
+	writeCanonical(&buf, v)
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// writeCanonical re-encodes a decoded JSON value with sorted object keys and
+// no whitespace. The input comes from encoding/json with UseNumber, so the
+// only possible types are the five cases below plus nil.
+func writeCanonical(buf *bytes.Buffer, v any) {
+	switch t := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if t {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		buf.WriteString(string(t))
+	case string:
+		b, _ := json.Marshal(t)
+		buf.Write(b)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeCanonical(buf, e)
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, _ := json.Marshal(k)
+			buf.Write(kb)
+			buf.WriteByte(':')
+			writeCanonical(buf, t[k])
+		}
+		buf.WriteByte('}')
+	}
+}

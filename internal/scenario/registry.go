@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompileFunc compiles a decoded document's payload into one of the compiled
+// scenario types (*App, *FaultPlan, *Campaign). It returns either the value
+// or a non-empty issue list; returning both is a programmer error.
+type CompileFunc func(doc *Document) (any, []Issue)
+
+type registryKey struct {
+	kind    string
+	version int
+}
+
+var registry = map[registryKey]CompileFunc{}
+
+// Register installs the compiler for one (kind, schemaVersion) pair. New
+// schema versions register new compilers beside the old ones, so old files
+// keep compiling forever; re-registering a pair is a programmer error.
+func Register(kind string, version int, fn CompileFunc) {
+	if bodyKey(kind) == "" {
+		panic(fmt.Sprintf("scenario: Register: unknown kind %q", kind))
+	}
+	if version < 1 {
+		panic(fmt.Sprintf("scenario: Register: version %d < 1", version))
+	}
+	if fn == nil {
+		panic("scenario: Register: nil compile func")
+	}
+	k := registryKey{kind: kind, version: version}
+	if _, dup := registry[k]; dup {
+		panic(fmt.Sprintf("scenario: Register: duplicate compiler for kind %q version %d", kind, version))
+	}
+	registry[k] = fn
+}
+
+// lookup returns the compiler for (kind, version), or nil.
+func lookup(kind string, version int) CompileFunc {
+	return registry[registryKey{kind: kind, version: version}]
+}
+
+// registeredList renders the registered (kind, version) pairs for error
+// messages, sorted for determinism.
+func registeredList() string {
+	pairs := make([]string, 0, len(registry))
+	for k := range registry {
+		pairs = append(pairs, fmt.Sprintf("%s/v%d", k.kind, k.version))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ", ")
+}
