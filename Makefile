@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench bench-go fuzz scenario-hashes check
+.PHONY: build test race lint vet bench bench-go fuzz scenario-hashes corpus-golden check
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzFindSpace -fuzztime 10s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSpaceTracker -fuzztime 10s
 	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzScenarioDecode -fuzztime 10s
+	$(GO) test ./internal/export -run '^$$' -fuzz FuzzTraceBinCodec -fuzztime 10s
+
+# corpus-golden regenerates the corpus-analytics golden (the rendered
+# tracetool-corpus output over the pinned 24-run seed grid); run it after a
+# deliberate change to the binary codec or the corpus renderer.
+corpus-golden:
+	$(GO) test ./internal/corpus -run TestCorpusGolden -update
 
 # scenario-hashes regenerates the canonical-hash manifest the CI
 # scenario-stability step diffs against; run it after deliberately editing

@@ -16,15 +16,19 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
 	"strings"
 
+	"taopt/internal/apps"
 	"taopt/internal/cli"
+	"taopt/internal/export"
 	"taopt/internal/harness"
 	"taopt/internal/sim"
 	"taopt/internal/trace"
@@ -45,6 +49,24 @@ type fleetStats struct {
 	VirtualEventsPerSec float64 `json:"virtual_events_per_sec"`
 }
 
+// codecStats measures the binary trace codec against the JSON v5 export on
+// one recorded run: throughput in trace events per second and density in
+// bytes per event, plus the ratios over JSON.
+type codecStats struct {
+	Events        int     `json:"events"`
+	BinBytes      int     `json:"bin_bytes"`
+	JSONBytes     int     `json:"json_bytes"`
+	BinBytesPerEvent  float64 `json:"bin_bytes_per_event"`
+	JSONBytesPerEvent float64 `json:"json_bytes_per_event"`
+	BinEncodeEventsPerSec  float64 `json:"bin_encode_events_per_sec"`
+	BinDecodeEventsPerSec  float64 `json:"bin_decode_events_per_sec"`
+	JSONEncodeEventsPerSec float64 `json:"json_encode_events_per_sec"`
+	JSONDecodeEventsPerSec float64 `json:"json_decode_events_per_sec"`
+	// EncodeSpeedup / DecodeSpeedup are binary throughput over JSON's.
+	EncodeSpeedup float64 `json:"encode_speedup_vs_json"`
+	DecodeSpeedup float64 `json:"decode_speedup_vs_json"`
+}
+
 type report struct {
 	Smoke          bool         `json:"smoke"`
 	App            string       `json:"app"`
@@ -54,6 +76,7 @@ type report struct {
 	// ObserveSpeedup is legacy ns/op over tracked ns/op at Visits.
 	ObserveSpeedup float64      `json:"observe_speedup"`
 	Fleet          []fleetStats `json:"fleet"`
+	TraceCodec     codecStats   `json:"trace_codec"`
 }
 
 // entry is one revision's measurement in the trajectory.
@@ -111,6 +134,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fleet grid workers=%d: %d cells, %.2fs wall, %.0f virtual events/sec\n",
 			fs.Workers, fs.Cells, float64(fs.WallNS)/1e9, fs.VirtualEventsPerSec)
 	}
+
+	rep.TraceCodec = measureCodec(minutes, iters)
+	fmt.Fprintf(os.Stderr, "trace codec: %d events, binary %.1f bytes/event vs JSON %.1f\n",
+		rep.TraceCodec.Events, rep.TraceCodec.BinBytesPerEvent, rep.TraceCodec.JSONBytesPerEvent)
+	fmt.Fprintf(os.Stderr, "  encode %.2e events/sec (%.1fx JSON), decode %.2e events/sec (%.1fx JSON)\n",
+		rep.TraceCodec.BinEncodeEventsPerSec, rep.TraceCodec.EncodeSpeedup,
+		rep.TraceCodec.BinDecodeEventsPerSec, rep.TraceCodec.DecodeSpeedup)
 
 	traj := loadTrajectory(*out)
 	traj.upsert(entry{SHA: *sha, Report: rep})
@@ -199,6 +229,73 @@ func measureObserve(events []trace.Event, book *trace.Book, visits int, legacy b
 		}
 	}
 	return best
+}
+
+// measureCodec pits the binary trace codec against the JSON v5 export on a
+// seeded telemetry run: best-of-iters encode and decode throughput in trace
+// events per second, plus the byte density of both forms.
+func measureCodec(minutes sim.Duration, iters int) codecStats {
+	res, err := harness.Run(harness.RunConfig{
+		App:       apps.MustLoad("Filters For Selfie"),
+		Tool:      "monkey",
+		Setting:   harness.TaOPTDuration,
+		Duration:  minutes,
+		Instances: 4,
+		Seed:      2,
+		Telemetry: true,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	run := export.FromResult(res)
+
+	var binBuf, jsonBuf bytes.Buffer
+	if err := run.WriteBin(&binBuf); err != nil {
+		fatalf("%v", err)
+	}
+	if err := run.Write(&jsonBuf); err != nil {
+		fatalf("%v", err)
+	}
+	events := 0
+	for _, inst := range run.Instances {
+		events += len(inst.Events)
+	}
+
+	// best returns the fastest of iters timed passes of fn, in events/sec.
+	best := func(fn func() error) float64 {
+		var fastest int64 = -1
+		for i := 0; i < iters; i++ {
+			sw := cli.NewStopwatch()
+			if err := fn(); err != nil {
+				fatalf("%v", err)
+			}
+			if ns := sw.ElapsedNS(); fastest < 0 || ns < fastest {
+				fastest = ns
+			}
+		}
+		return float64(events) / (float64(fastest) / 1e9)
+	}
+
+	cs := codecStats{
+		Events:            events,
+		BinBytes:          binBuf.Len(),
+		JSONBytes:         jsonBuf.Len(),
+		BinBytesPerEvent:  float64(binBuf.Len()) / float64(events),
+		JSONBytesPerEvent: float64(jsonBuf.Len()) / float64(events),
+	}
+	cs.BinEncodeEventsPerSec = best(func() error { return run.WriteBin(io.Discard) })
+	cs.JSONEncodeEventsPerSec = best(func() error { return run.Write(io.Discard) })
+	cs.BinDecodeEventsPerSec = best(func() error {
+		_, err := export.ReadBin(bytes.NewReader(binBuf.Bytes()))
+		return err
+	})
+	cs.JSONDecodeEventsPerSec = best(func() error {
+		_, err := export.Read(bytes.NewReader(jsonBuf.Bytes()))
+		return err
+	})
+	cs.EncodeSpeedup = cs.BinEncodeEventsPerSec / cs.JSONEncodeEventsPerSec
+	cs.DecodeSpeedup = cs.BinDecodeEventsPerSec / cs.JSONDecodeEventsPerSec
+	return cs
 }
 
 // measureFleet prefetches a small campaign grid on a pool of the given width

@@ -162,6 +162,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "campaign seed")
 		faultRate = flag.Float64("faults", 0, "instance-failure rate for fault injection (chaos derives its own 0/5/20% grid)")
 		workers   = flag.Int("workers", 1, "campaign cells computed in parallel (0 = GOMAXPROCS); results are identical to -workers=1")
+		binDir    = flag.String("bintrace-dir", "", "stream every computed cell's run as a binary trace file into this directory (analyze with tracetool corpus)")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of one telemetry-enabled TaOPT run (first app × first tool) to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -210,6 +211,13 @@ func main() {
 		Duration:  sim.Duration(*minutes) * sim.Duration(60e9),
 		Seed:      *seed,
 		Workers:   *workers,
+	}
+	if *binDir != "" {
+		if err := os.MkdirAll(*binDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.BinTraceDir = *binDir
 	}
 	if *appsFlag != "" {
 		cfg.Apps = splitList(*appsFlag)

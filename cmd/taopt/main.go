@@ -50,6 +50,7 @@ func main() {
 		faultRate = flag.Float64("faults", 0, "inject device-farm failures at this instance-failure rate (e.g. 0.2)")
 		transport = flag.String("transport", "inline", "coordination transport: inline | wire (results are byte-identical)")
 		wirelog   = flag.String("wirelog", "", "record the full coordination message log to this file (replay it with tracetool wirelog)")
+		bintrace  = flag.String("bintrace", "", "stream the run in the compact binary trace format to this file (analyze with tracetool corpus)")
 		exportTo  = flag.String("export", "", "write the full run (traces, crashes, subspaces) as JSON to this file")
 		telemetry = flag.Bool("telemetry", false, "collect the coordinator's decision log and run metrics; prints a digest and adds the export's telemetry block")
 		decisions = flag.String("decisions", "", "write the decision log as JSONL to this file (implies -telemetry)")
@@ -164,6 +165,14 @@ func main() {
 		}
 		cfg.WireLog = wlog
 	}
+	var btrace *os.File
+	if *bintrace != "" {
+		var err error
+		if btrace, err = os.Create(*bintrace); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.BinTrace = btrace
+	}
 	if *stagMin > 0 {
 		mode := core.DurationConstrained
 		if st == harness.TaOPTResource {
@@ -182,6 +191,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wire log:       %s\n", *wirelog)
+	}
+	if btrace != nil {
+		if err := btrace.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("binary trace:   %s\n", *bintrace)
 	}
 
 	if *exportTo != "" {

@@ -1,64 +1,97 @@
-// Command tracetool analyses exported run files (cmd/taopt -export) offline:
-// it rebuilds the UI transition graph, applies the preliminary study's
-// conservative min-conductance partition, and reports the per-subspace
-// exploration overlap and AJS statistics — the instrumentation behind
-// Section 3's study, usable on any recorded run.
-//
-// The decisions subcommand replays an exported run's decision log (format
-// v3, cmd/taopt -telemetry -export) and cross-checks it against the run's
-// recorded outcome and rebuilt transition graph.
-//
-// The wirelog subcommand works on recorded coordination message logs
-// (cmd/taopt -wirelog): dump the frame stream, diff two logs, or replay a
-// log into the run's byte-identical export without re-running any tool.
+// Command tracetool analyses recorded runs offline. It started as a
+// single-run inspector — rebuild the UI transition graph from an exported
+// run (cmd/taopt -export), apply the preliminary study's conservative
+// min-conductance partition, and report per-subspace exploration overlap and
+// AJS — and grew corpus-scale analytics over binary traces: the corpus
+// subcommand streams a directory of *.taoptb files (cmd/taopt -bintrace,
+// cmd/experiments -bintrace-dir) in one pass and reports crash-signature
+// clusters across runs, coverage-curve percentiles across seeds, and flaky
+// cells whose outcome diverges for the same scenario.
 //
 // Usage:
 //
 //	taopt -app Zedge -tool ape -setting baseline -export run.json
 //	tracetool run.json
-//	tracetool -min-coupling 0.12 run.json
+//	tracetool partition -min-coupling 0.12 run.json
 //	tracetool decisions run.json
 //	tracetool wirelog run.wirelog
 //	tracetool wirelog a.wirelog b.wirelog
 //	tracetool wirelog -replay -replay-out replayed.json run.wirelog
+//	tracetool corpus traces/
+//	tracetool help
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"text/tabwriter"
 
 	"taopt/internal/cli"
+	"taopt/internal/corpus"
 	"taopt/internal/export"
 	"taopt/internal/graph"
 	"taopt/internal/metrics"
 	"taopt/internal/ui"
 )
 
-func main() {
-	var (
-		coupling = flag.Float64("min-coupling", graph.DefaultPartitionOptions().MaxCoupling,
-			"inter-region flow threshold below which regions stay separate")
-		minGroup = flag.Int("min-group", graph.DefaultPartitionOptions().MinGroupSize,
-			"fold groups smaller than this into their strongest neighbour")
-	)
-	flag.Parse()
+// command is one tracetool subcommand: the dispatch table below is the
+// single source for both routing and the help/usage listing.
+type command struct {
+	name    string
+	args    string
+	summary string
+	run     func(args []string)
+}
 
-	if flag.NArg() >= 1 && flag.Arg(0) == "wirelog" {
-		wirelogMain(flag.Args()[1:])
-		return
+// commands is ordered; help prints it as-is. The help entry is appended in
+// init because its closure refers back to this table via usage.
+var commands = []command{
+	{"partition", "[flags] <run.json>", "offline UI-subspace partition of an exported run (default command)", partitionMain},
+	{"decisions", "<run.json>", "replay the exported decision log against the run's recorded outcome", decisionsMain},
+	{"wirelog", "[flags] <log> [log2]", "dump, diff or replay recorded coordination message logs", wirelogMain},
+	{"corpus", "<dir>", "cross-run analytics over a directory of binary traces (*" + corpus.Ext + ")", corpusMain},
+}
+
+func init() {
+	commands = append(commands, command{"help", "", "show this table", func([]string) {
+		usage(os.Stdout)
+		os.Exit(0)
+	}})
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: tracetool <command> [flags] <args>")
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, c := range commands {
+		fmt.Fprintf(tw, "  %s %s\t%s\n", c.name, c.args, c.summary)
 	}
-	path := flag.Arg(0)
-	subcommand := ""
-	if flag.NArg() == 2 && flag.Arg(0) == "decisions" {
-		subcommand, path = "decisions", flag.Arg(1)
-	} else if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracetool [flags] [decisions|wirelog] <run.json|run.wirelog>")
+	tw.Flush()
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "A bare <run.json> argument runs the partition command.")
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage(os.Stderr)
 		os.Exit(2)
 	}
+	for _, c := range commands {
+		if c.name == args[0] {
+			c.run(args[1:])
+			return
+		}
+	}
+	// Bare run.json (possibly preceded by partition flags) keeps working.
+	partitionMain(args)
+}
 
+// readRun opens and decodes one exported run file.
+func readRun(path string) *export.Run {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
@@ -68,13 +101,20 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	return run
+}
 
-	if subcommand == "decisions" {
-		if !checkDecisions(run) {
-			os.Exit(1)
-		}
-		return
+func partitionMain(args []string) {
+	fs := flag.NewFlagSet("tracetool partition", flag.ExitOnError)
+	coupling := fs.Float64("min-coupling", graph.DefaultPartitionOptions().MaxCoupling,
+		"inter-region flow threshold below which regions stay separate")
+	minGroup := fs.Int("min-group", graph.DefaultPartitionOptions().MinGroupSize,
+		"fold groups smaller than this into their strongest neighbour")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: tracetool partition [flags] <run.json> (tracetool help lists all commands)")
 	}
+	run := readRun(fs.Arg(0))
 
 	fmt.Printf("run:       %s / %s / %s (seed %d)\n", run.App, run.Tool, run.Setting, run.Seed)
 	fmt.Printf("coverage:  %d methods, %d unique crashes\n", run.Coverage, run.UniqueCrashes)
@@ -86,6 +126,32 @@ func main() {
 	fmt.Printf("events:    %d transitions over %d distinct screens\n", total, len(run.Screens))
 
 	analyse(run, graph.PartitionOptions{MaxCoupling: *coupling, MinGroupSize: *minGroup})
+}
+
+func decisionsMain(args []string) {
+	fs := flag.NewFlagSet("tracetool decisions", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: tracetool decisions <run.json>")
+	}
+	if !checkDecisions(readRun(fs.Arg(0))) {
+		os.Exit(1)
+	}
+}
+
+func corpusMain(args []string) {
+	fs := flag.NewFlagSet("tracetool corpus", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("usage: tracetool corpus <dir> (a directory of *%s binary traces)", corpus.Ext)
+	}
+	stats, err := corpus.ScanDir(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := corpus.Render(os.Stdout, stats); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 func analyse(run *export.Run, opts graph.PartitionOptions) {

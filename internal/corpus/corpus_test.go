@@ -1,0 +1,191 @@
+package corpus_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"taopt/internal/apps"
+	"taopt/internal/corpus"
+	"taopt/internal/faults"
+	"taopt/internal/harness"
+	"taopt/internal/sim"
+)
+
+var updateCorpusGolden = flag.Bool("update", false, "rewrite the corpus analytics golden")
+
+// buildCorpus generates the pinned seed grid into dir: 4 apps × 2 settings ×
+// 3 seeds = 24 runs at a short budget, with faults on half the cells so the
+// crash-cluster and flakiness sections have material, and a synthetic
+// scenario hash on one app to exercise hash-keyed grouping.
+func buildCorpus(tb testing.TB, dir string) {
+	tb.Helper()
+	names := apps.Names()
+	sort.Strings(names)
+	if len(names) < 4 {
+		tb.Fatalf("catalog has %d apps, want >= 4", len(names))
+	}
+	minute := sim.Duration(60e9)
+	for ai, app := range names[:4] {
+		for _, setting := range []harness.Setting{harness.TaOPTDuration, harness.TaOPTResource} {
+			for s := 0; s < 3; s++ {
+				cfg := harness.RunConfig{
+					App:       apps.MustLoad(app),
+					Tool:      "monkey",
+					Setting:   setting,
+					Duration:  6 * minute,
+					Instances: 3,
+					Seed:      int64(10*ai + s),
+					Telemetry: s == 0,
+				}
+				if ai%2 == 1 {
+					fc := faults.DefaultConfig(0.3)
+					fc.MinLife = 1 * minute
+					fc.MaxLife = 4 * minute
+					cfg.Faults = &fc
+				}
+				if ai == 0 {
+					cfg.ScenarioHash = fmt.Sprintf("sha256:%064d", ai)
+				}
+				key := harness.CellKey{App: app, Tool: cfg.Tool, Setting: setting}
+				f, err := os.Create(filepath.Join(dir, harness.CellTraceName(key, cfg.Seed)))
+				if err != nil {
+					tb.Fatal(err)
+				}
+				cfg.BinTrace = f
+				_, err = harness.Run(cfg)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func renderCorpus(tb testing.TB, dir string) string {
+	tb.Helper()
+	stats, err := corpus.ScanDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(stats) < 24 {
+		tb.Fatalf("corpus has %d runs, want >= 24", len(stats))
+	}
+	var buf bytes.Buffer
+	if err := corpus.Render(&buf, stats); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCorpusGolden pins the full corpus analytics output over the 24-run
+// seed grid: scanning is one streaming pass in sorted filename order, so the
+// rendering must be byte-identical on every regeneration.
+func TestCorpusGolden(t *testing.T) {
+	dir := t.TempDir()
+	buildCorpus(t, dir)
+	got := renderCorpus(t, dir)
+
+	path := filepath.Join("testdata", "corpus_golden.txt")
+	if *updateCorpusGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("corpus analytics drifted from golden:\n--- got ---\n%s--- want ---\n%s(run with -update after a deliberate change)", got, want)
+	}
+}
+
+// TestCorpusSections sanity-checks the analytics content beyond byte
+// equality: every section present, all 24 runs counted, crash clusters from
+// the fault cells, and at least one flaky cell (fault injection is seeded
+// per run, so sibling seeds diverge).
+func TestCorpusSections(t *testing.T) {
+	dir := t.TempDir()
+	buildCorpus(t, dir)
+	out := renderCorpus(t, dir)
+
+	if !strings.Contains(out, "corpus: 24 runs") {
+		t.Errorf("summary line missing or wrong run count:\n%s", out)
+	}
+	for _, section := range []string{"crash clusters", "coverage percentiles", "flaky cells"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("output lacks %q section", section)
+		}
+	}
+	if strings.Contains(out, "crash clusters (0 distinct") {
+		t.Error("fault cells produced no crash clusters")
+	}
+	if strings.Contains(out, "flaky cells (same scenario, divergent outcome): 0") {
+		t.Error("expected at least one flaky cell from the fault grid")
+	}
+	// The hash-keyed app groups under app#hash, not the bare app name.
+	if !strings.Contains(out, "#sha256:") {
+		t.Error("scenario-hash grouping key missing from output")
+	}
+}
+
+// TestScanFileMatchesHeader checks the per-run digest against the run it
+// came from.
+func TestScanFileMatchesHeader(t *testing.T) {
+	dir := t.TempDir()
+	app := apps.MustLoad(apps.Names()[0])
+	cfg := harness.RunConfig{
+		App: app, Tool: "monkey", Setting: harness.TaOPTDuration,
+		Duration: 4 * sim.Duration(60e9), Instances: 2, Seed: 9,
+	}
+	path := filepath.Join(dir, "one.taoptb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BinTrace = f
+	res, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := corpus.ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Path != "one.taoptb" {
+		t.Errorf("Path = %q", st.Path)
+	}
+	if st.Header.App != app.Name || st.Header.Tool != "monkey" || st.Header.Seed != 9 {
+		t.Errorf("header mismatch: %+v", st.Header)
+	}
+	if st.Coverage != res.Union.Count() {
+		t.Errorf("coverage = %d, run says %d", st.Coverage, res.Union.Count())
+	}
+	if st.Instances != 2 {
+		t.Errorf("instances = %d, want 2", st.Instances)
+	}
+	if st.Events == 0 || st.Samples == 0 || len(st.Curve) != st.Samples {
+		t.Errorf("counts: events=%d samples=%d curve=%d", st.Events, st.Samples, len(st.Curve))
+	}
+	if st.Curve[len(st.Curve)-1].Covered > st.Coverage {
+		t.Errorf("curve ends above final coverage: %d > %d", st.Curve[len(st.Curve)-1].Covered, st.Coverage)
+	}
+}

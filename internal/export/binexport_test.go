@@ -1,0 +1,224 @@
+package export
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taopt/internal/apps"
+	"taopt/internal/faults"
+	"taopt/internal/harness"
+	"taopt/internal/sim"
+	"taopt/internal/trace/bin"
+)
+
+var updateBinGolden = flag.Bool("update", false, "rewrite the binary-trace golden digests")
+
+// TestBinExportVersionMatches pins the bin package's mirror of the export
+// schema version. If this fails, a format bump touched one side only.
+func TestBinExportVersionMatches(t *testing.T) {
+	if bin.ExportVersion != FormatVersion {
+		t.Fatalf("bin.ExportVersion = %d, export.FormatVersion = %d; bump them together", bin.ExportVersion, FormatVersion)
+	}
+}
+
+// binCells are the pinned configurations the lossless round-trip and the
+// golden digests cover: the fault-free sample, the chaos/telemetry golden
+// cell, and a telemetry-only run.
+func binCells() map[string]harness.RunConfig {
+	app := apps.MustLoad("Filters For Selfie")
+	fc := faults.DefaultConfig(0.2)
+	fc.MinLife = 1 * sim.Duration(60e9)
+	fc.MaxLife = 5 * sim.Duration(60e9)
+	return map[string]harness.RunConfig{
+		"golden": {
+			App: app, Tool: "monkey", Setting: harness.TaOPTDuration,
+			Duration: 6 * sim.Duration(60e9), Seed: 4,
+		},
+		"chaos": {
+			App: app, Tool: "monkey", Setting: harness.TaOPTDuration,
+			Duration: 8 * sim.Duration(60e9), Seed: 15,
+			Faults: &fc, Telemetry: true,
+		},
+		"telemetry": {
+			App: app, Tool: "ape", Setting: harness.TaOPTResource,
+			Duration: 5 * sim.Duration(60e9), Seed: 7, Telemetry: true,
+		},
+	}
+}
+
+// runWithBinTrace executes cfg with a binary trace attached and returns the
+// live stream bytes plus the direct export.
+func runWithBinTrace(t *testing.T, cfg harness.RunConfig) ([]byte, *Run) {
+	t.Helper()
+	var stream bytes.Buffer
+	cfg.BinTrace = &stream
+	res, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream.Bytes(), FromResult(res)
+}
+
+func jsonBytes(t *testing.T, r *Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func binBytes(t *testing.T, r *Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteBin(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinRoundTripLossless is the tentpole contract: the export rebuilt from
+// the live binary stream is byte-identical (as JSON v5) to the direct
+// export, and the canonical binary form is an encode/decode fixed point.
+func TestBinRoundTripLossless(t *testing.T) {
+	for name, cfg := range binCells() {
+		t.Run(name, func(t *testing.T) {
+			stream, direct := runWithBinTrace(t, cfg)
+
+			fromStream, err := ReadBin(bytes.NewReader(stream))
+			if err != nil {
+				t.Fatalf("ReadBin(live stream): %v", err)
+			}
+			directJSON := jsonBytes(t, direct)
+			streamJSON := jsonBytes(t, fromStream)
+			if !bytes.Equal(directJSON, streamJSON) {
+				t.Fatalf("live binary stream decodes to a different export (%d vs %d JSON bytes)", len(streamJSON), len(directJSON))
+			}
+
+			// bin -> Run -> bin fixed point on the canonical form.
+			b1 := binBytes(t, direct)
+			back, err := ReadBin(bytes.NewReader(b1))
+			if err != nil {
+				t.Fatalf("ReadBin(canonical): %v", err)
+			}
+			b2 := binBytes(t, back)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("canonical binary form is not a fixed point (%d vs %d bytes)", len(b1), len(b2))
+			}
+			// The live stream re-encodes to the same canonical bytes.
+			if b3 := binBytes(t, fromStream); !bytes.Equal(b1, b3) {
+				t.Fatalf("live stream re-encodes to different canonical bytes (%d vs %d)", len(b3), len(b1))
+			}
+
+			t.Logf("%s: JSON %d bytes, binary %d bytes (%.1fx smaller)", name, len(directJSON), len(b1), float64(len(directJSON))/float64(len(b1)))
+		})
+	}
+}
+
+// TestBinGoldenDigests pins the canonical binary bytes of the golden cells.
+// Any codec change — record layout, interning, chunking, delta scheme —
+// must consciously refresh these with -update (and bump bin.Version if the
+// layout changed incompatibly).
+func TestBinGoldenDigests(t *testing.T) {
+	cells := binCells()
+	var lines []byte
+	for _, name := range []string{"golden", "chaos", "telemetry"} {
+		_, direct := runWithBinTrace(t, cells[name])
+		sum := sha256.Sum256(binBytes(t, direct))
+		lines = append(lines, fmt.Sprintf("%s %s\n", name, hex.EncodeToString(sum[:]))...)
+	}
+	path := filepath.Join("testdata", "bintrace_golden.txt")
+	if *updateBinGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, lines, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(lines, want) {
+		t.Fatalf("binary-trace digests changed:\n got:\n%s want:\n%s(run with -update after a deliberate codec change)", lines, want)
+	}
+}
+
+// TestBinRoundTripCatalog sweeps the full app catalog at a small budget:
+// every app's live stream must decode to the byte-identical JSON export.
+func TestBinRoundTripCatalog(t *testing.T) {
+	names := apps.Names()
+	if len(names) < 18 {
+		t.Fatalf("catalog has %d apps, want >= 18", len(names))
+	}
+	minutes := sim.Duration(3 * 60e9)
+	for i, name := range names {
+		t.Run(name, func(t *testing.T) {
+			cfg := harness.RunConfig{
+				App: apps.MustLoad(name), Tool: "monkey",
+				Setting: harness.TaOPTDuration, Duration: minutes,
+				Instances: 3, Seed: int64(100 + i),
+				Telemetry: i%3 == 0,
+			}
+			stream, direct := runWithBinTrace(t, cfg)
+			fromStream, err := ReadBin(bytes.NewReader(stream))
+			if err != nil {
+				t.Fatalf("ReadBin: %v", err)
+			}
+			if !bytes.Equal(jsonBytes(t, direct), jsonBytes(t, fromStream)) {
+				t.Fatal("live binary stream decodes to a different export")
+			}
+		})
+	}
+}
+
+// FuzzTraceBinCodec fuzzes ReadBin over arbitrary bytes: it must never
+// panic, and whenever a stream decodes cleanly, encode∘decode must be a
+// fixed point from the first re-encode on.
+func FuzzTraceBinCodec(f *testing.F) {
+	cells := binCells()
+	for _, name := range []string{"golden", "chaos"} {
+		cfg := cells[name]
+		var stream bytes.Buffer
+		cfg.BinTrace = &stream
+		if _, err := harness.Run(cfg); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(stream.Bytes())
+		if len(stream.Bytes()) > 256 {
+			f.Add(stream.Bytes()[:256]) // truncated prefix
+		}
+	}
+	f.Add([]byte(bin.Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := ReadBin(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt input rejected: fine, as long as no panic
+		}
+		var b1 bytes.Buffer
+		if err := run.WriteBin(&b1); err != nil {
+			t.Fatalf("re-encoding a cleanly decoded stream: %v", err)
+		}
+		back, err := ReadBin(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding our own re-encode: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := back.WriteBin(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("encode∘decode is not a fixed point")
+		}
+	})
+}

@@ -23,9 +23,12 @@ import (
 // injected faults); version 3 added the optional telemetry block (decision
 // log + metrics) and the transport's per-kind command mix; version 4 added
 // the optional scenario_hash field — the canonical content hash of the
-// scenario document (internal/scenario) that defined the run's app. All
-// additions are optional fields, so Read still accepts version-2 files.
-const FormatVersion = 4
+// scenario document (internal/scenario) that defined the run's app; version
+// 5 marks the binary-trace era (internal/trace/bin): the JSON schema is
+// unchanged from v4, but v5 files are the debug view of runs that can also
+// stream the binary form, and WriteBin/ReadBin round-trip them losslessly.
+// All additions are optional fields, so Read still accepts version-2 files.
+const FormatVersion = 5
 
 // minReadVersion is the oldest schema Read accepts.
 const minReadVersion = 2

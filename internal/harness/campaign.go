@@ -3,7 +3,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"taopt/internal/apps"
 	"taopt/internal/core"
@@ -104,6 +107,12 @@ type CampaignConfig struct {
 	// seed derives from its key alone, and Prefetch merges in deterministic
 	// key order.
 	Workers int
+	// BinTraceDir, when non-empty, streams every computed cell's run into
+	// that directory as a binary trace file (internal/trace/bin), named
+	// <app>_<tool>_<setting>_seed<seed>.taoptb with spaces dashed — the
+	// corpus that cmd/tracetool's analytics stream over. Each cell writes
+	// its own file, so fleet workers never contend.
+	BinTraceDir string
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -210,7 +219,7 @@ func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := Run(RunConfig{
+	cfg := RunConfig{
 		App:          aut,
 		Tool:         key.Tool,
 		Setting:      key.Setting,
@@ -222,11 +231,34 @@ func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
 		CoreConfig:   c.cfg.CoreConfig,
 		Faults:       c.cfg.Faults,
 		Transport:    c.cfg.Transport,
-	})
+	}
+	var binFile *os.File
+	if c.cfg.BinTraceDir != "" {
+		binFile, err = os.Create(filepath.Join(c.cfg.BinTraceDir, CellTraceName(key, cfg.Seed)))
+		if err != nil {
+			return nil, fmt.Errorf("harness: creating binary trace: %w", err)
+		}
+		cfg.BinTrace = binFile
+	}
+	res, err := Run(cfg)
+	if binFile != nil {
+		if cerr := binFile.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("harness: closing binary trace: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 	return summarize(key, res, c.cfg.Instances), nil
+}
+
+// CellTraceName is the deterministic binary-trace filename of one cell run:
+// app, tool, setting and seed joined with underscores (spaces dashed), with
+// the .taoptb extension. Campaign output directories stay diffable because
+// the name is a pure function of the cell.
+func CellTraceName(key CellKey, seed int64) string {
+	clean := func(s string) string { return strings.ReplaceAll(s, " ", "-") }
+	return fmt.Sprintf("%s_%s_%s_seed%d.taoptb", clean(key.App), clean(key.Tool), key.Setting, seed)
 }
 
 func (c *Campaign) logProgress(s *CellSummary) {

@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"taopt/internal/app"
 	"taopt/internal/bus"
@@ -22,6 +23,7 @@ import (
 	"taopt/internal/toller"
 	"taopt/internal/tools"
 	"taopt/internal/trace"
+	"taopt/internal/trace/bin"
 	"taopt/internal/ui"
 )
 
@@ -151,6 +153,12 @@ type RunConfig struct {
 	// command exchange and boundary effect, from which export.ReplayWireLog
 	// re-derives the run byte-for-byte. Works over either transport.
 	WireLog io.Writer
+	// BinTrace, when non-nil, streams the run in the compact binary
+	// trace+telemetry format (internal/trace/bin): events, samples and
+	// decisions leave the process in fixed-size chunks as they happen, and
+	// the bounded end-of-run summaries close the stream. export.ReadBin
+	// rebuilds the JSON export from it losslessly.
+	BinTrace io.Writer
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -273,6 +281,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			return nil, fmt.Errorf("harness: wire transport: %w", err)
 		}
 	}
+	// Likewise a truncated binary trace: it would read as a corrupt stream.
+	if r.bin != nil {
+		if err := r.bin.Close(); err != nil {
+			return nil, fmt.Errorf("harness: binary trace: %w", err)
+		}
+	}
 	return res, nil
 }
 
@@ -323,6 +337,10 @@ type runner struct {
 	// Inline); rec is the wire-log recorder when RunConfig.WireLog is set.
 	wireT *wire.Transport
 	rec   *wire.Recorder
+	// bin is the streaming binary trace writer when RunConfig.BinTrace is
+	// set (nil otherwise). It taps the driver-side ground truth, exactly
+	// like the measurements: injected transport faults never reach it.
+	bin *bin.Writer
 }
 
 func newRunner(cfg RunConfig) *runner {
@@ -336,6 +354,22 @@ func newRunner(cfg RunConfig) *runner {
 	}
 	if cfg.Telemetry {
 		r.tel = obs.NewTelemetry()
+	}
+	if cfg.BinTrace != nil {
+		r.bin = bin.NewWriter(cfg.BinTrace, bin.Header{
+			App:          cfg.App.Name,
+			Tool:         cfg.Tool,
+			Setting:      cfg.Setting.String(),
+			Seed:         cfg.Seed,
+			ScenarioHash: cfg.ScenarioHash,
+			Telemetry:    cfg.Telemetry,
+			Faults:       cfg.Faults != nil && cfg.Faults.Enabled(),
+		})
+		if r.tel != nil {
+			// Stream decisions out as the coordinator emits them instead of
+			// buffering them to run end.
+			r.tel.DecisionLog().Tee(r.bin.Decision)
+		}
 	}
 
 	maxDevices := cfg.Instances
@@ -518,6 +552,10 @@ func (r *runner) execAllocate() bus.Reply {
 		// never crosses the transport; the lease frame carries it.
 		r.rec.Lease(id, driver.Trace().Events()[0])
 	}
+	if r.bin != nil {
+		// Same gap for the binary stream: record the launch event directly.
+		r.bin.Event(driver.Trace().Events()[0])
+	}
 	r.scheduleStep(a, 0)
 	return bus.Reply{Instance: id}
 }
@@ -591,6 +629,9 @@ func (r *runner) blocks(id int) *toller.BlockSet {
 // degrade coordination (the strategy subscribes through the bus), never the
 // measurements.
 func (r *runner) recordEvent(ev trace.Event) {
+	if r.bin != nil {
+		r.bin.Event(ev)
+	}
 	if r.tel != nil {
 		r.tel.Registry().Inc(obs.InstanceCounter("trace.emitted", ev.Instance), 1)
 	}
@@ -676,6 +717,12 @@ func (r *runner) sample() {
 	r.timeline = append(r.timeline, p)
 	if r.rec != nil {
 		r.rec.Sample(wire.Sample{
+			WallNS: int64(p.Wall), MachineNS: int64(p.Machine),
+			Covered: p.Covered, Crashes: p.Crashes, AJS: p.AJS,
+		})
+	}
+	if r.bin != nil {
+		r.bin.Sample(bin.Sample{
 			WallNS: int64(p.Wall), MachineNS: int64(p.Machine),
 			Covered: p.Covered, Crashes: p.Crashes, AJS: p.AJS,
 		})
@@ -832,5 +879,84 @@ func (r *runner) result() *RunResult {
 			Stats:           res.Transport,
 		})
 	}
+	r.binTail(res)
 	return res
+}
+
+// binTail closes the binary trace stream with the bounded end-of-run
+// summaries, mirroring export.FromResult's sections exactly so ReadBin
+// rebuilds the identical JSON view.
+func (r *runner) binTail(res *RunResult) {
+	if r.bin == nil {
+		return
+	}
+	for _, ir := range res.Instances {
+		sum := bin.InstanceSummary{
+			ID:          ir.ID,
+			AllocatedNS: int64(ir.Allocated),
+			ReleasedNS:  int64(ir.Released),
+			Failed:      ir.Failed,
+			Coverage:    ir.Methods.Count(),
+		}
+		for _, rep := range ir.Crashes.Reports() {
+			sum.Crashes = append(sum.Crashes, bin.Crash{
+				Signature: string(rep.Signature),
+				AtNS:      int64(rep.At),
+				Frames:    rep.Frames,
+			})
+		}
+		r.bin.Instance(sum)
+	}
+	for _, sub := range res.Subspaces {
+		bs := bin.Subspace{
+			ID: sub.ID, Entry: uint64(sub.Entry),
+			Owner: sub.Owner, FoundNS: int64(sub.FoundAt),
+		}
+		for m := range sub.Members {
+			bs.Members = append(bs.Members, uint64(m))
+		}
+		sort.Slice(bs.Members, func(i, j int) bool { return bs.Members[i] < bs.Members[j] })
+		r.bin.Subspace(bs)
+	}
+	if res.Book != nil {
+		for _, sig := range res.Book.Signatures() {
+			s := res.Book.Lookup(sig)
+			r.bin.Screen(bin.Screen{
+				Sig: uint64(sig), Activity: s.Activity, Nodes: s.Root.Size(),
+			})
+		}
+	}
+	if st := res.Transport; r.cfg.Faults != nil && r.cfg.Faults.Enabled() {
+		r.bin.Transport(bin.Transport{
+			Events:          st.Published,
+			Delivered:       st.Delivered,
+			Commands:        st.Commands,
+			CommandFailures: st.CommandFailures,
+			Dropped:         st.Dropped,
+			Delayed:         st.Delayed,
+			Deaths:          st.Deaths,
+			Hangs:           st.Hangs,
+			AllocFailures:   st.AllocFailures,
+			LostCommands:    st.LostCommands,
+			FailedInstances: res.FailedInstances,
+			OrphansPending:  res.OrphansPending,
+			HasMix: true,
+			Mix: [6]int{
+				st.KindCount(bus.Allocate), st.KindCount(bus.Deallocate),
+				st.KindCount(bus.BlockWidget), st.KindCount(bus.BlockMember),
+				st.KindCount(bus.Kill), st.KindCount(bus.Hang),
+			},
+		})
+	}
+	if r.tel != nil {
+		for _, m := range r.tel.Registry().Snapshot() {
+			r.bin.Metric(m)
+		}
+	}
+	r.bin.End(bin.End{
+		WallNS:        int64(res.WallUsed),
+		MachineNS:     int64(res.MachineUsed),
+		Coverage:      res.Union.Count(),
+		UniqueCrashes: res.UniqueCrashes,
+	})
 }

@@ -77,6 +77,22 @@ func DefaultConfig() *Config {
 				Hint:  "trace events are plain data moved over the bus; they may reference only the base types",
 			},
 			{
+				Pkg: "taopt/internal/trace/bin",
+				Allow: []string{
+					"taopt/internal/obs", "taopt/internal/sim",
+					"taopt/internal/trace", "taopt/internal/ui",
+				},
+				Hint: "the binary trace codec serialises trace events and telemetry records; the Run adapter lives in export, so bin must never import export or harness",
+			},
+			{
+				Pkg: "taopt/internal/corpus",
+				Allow: []string{
+					"taopt/internal/obs", "taopt/internal/sim",
+					"taopt/internal/trace", "taopt/internal/ui",
+				},
+				Hint: "corpus analytics stream binary traces (trace/bin) only; aggregating over exports or re-running the harness defeats the one-pass design",
+			},
+			{
 				Pkg:   "taopt/internal/crash",
 				Allow: []string{"taopt/internal/sim"},
 				Hint:  "crash modeling depends only on the sim kernel",

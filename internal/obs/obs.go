@@ -115,6 +115,7 @@ type Decision struct {
 // and do nothing, so call sites need no telemetry branches.
 type Log struct {
 	decisions []Decision
+	tee       func(Decision)
 }
 
 // Emit appends one decision. No-op on a nil log.
@@ -123,6 +124,20 @@ func (l *Log) Emit(d Decision) {
 		return
 	}
 	l.decisions = append(l.decisions, d)
+	if l.tee != nil {
+		l.tee(d)
+	}
+}
+
+// Tee registers fn to observe every subsequently emitted decision, in
+// emission order — the streaming hook the binary trace writer hangs off so
+// decisions leave the process as they happen instead of at run end. One tee
+// at a time; no-op on a nil log.
+func (l *Log) Tee(fn func(Decision)) {
+	if l == nil {
+		return
+	}
+	l.tee = fn
 }
 
 // Decisions returns the recorded decisions in emission order. The returned

@@ -1,0 +1,462 @@
+package bin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"taopt/internal/obs"
+	"taopt/internal/sim"
+	"taopt/internal/trace"
+	"taopt/internal/ui"
+)
+
+// ErrCorrupt marks a stream that violates the format: a bad magic or
+// version, a record running past its chunk, a reference outside the intern
+// tables, or an implausible chunk length. Every decode failure wraps it, so
+// callers can errors.Is-classify corruption apart from plain I/O errors.
+var ErrCorrupt = errors.New("bin: corrupt stream")
+
+// Reader streams records back out of a chunked binary trace. It loads one
+// chunk at a time, so reader memory is bounded by the largest chunk plus the
+// intern tables — never the whole stream. Interning records (KindStrDef,
+// KindSigDef) are consumed internally; Next never surfaces them.
+type Reader struct {
+	r   io.Reader
+	hdr Header
+	err error
+
+	chunk []byte
+	off   int
+
+	strs []string
+	sigs []uint64
+
+	lastEventAt map[int]int64
+	lastWall    int64
+	lastDecAt   int64
+}
+
+// NewReader opens a binary trace stream: it validates the magic and codec
+// version and decodes the mandatory header record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := &Reader{r: r, lastEventAt: make(map[int]int64)}
+	var pre [len(Magic) + 1]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorrupt, err)
+	}
+	if string(pre[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, pre[:len(Magic)])
+	}
+	if v := pre[len(Magic)]; v != Version {
+		return nil, fmt.Errorf("%w: unknown codec version %d (reader knows %d)", ErrCorrupt, v, Version)
+	}
+	rec, err := br.Next()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("%w: stream ends before header record", ErrCorrupt)
+		}
+		return nil, err
+	}
+	if rec.Kind != KindHeader {
+		return nil, fmt.Errorf("%w: first record is %v, want header", ErrCorrupt, rec.Kind)
+	}
+	br.hdr = rec.Header
+	return br, nil
+}
+
+// Header returns the run identity the stream opened with.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next record, or io.EOF at a clean end of stream (a chunk
+// boundary). Errors latch: after a failure every later call returns it.
+func (r *Reader) Next() (Record, error) {
+	for {
+		if r.err != nil {
+			return Record{}, r.err
+		}
+		if r.off == len(r.chunk) {
+			if err := r.loadChunk(); err != nil {
+				if err != io.EOF {
+					r.err = err
+				}
+				return Record{}, err
+			}
+		}
+		kind := Kind(r.u8())
+		switch kind {
+		case KindStrDef:
+			r.strs = append(r.strs, r.rawstr())
+		case KindSigDef:
+			r.sigs = append(r.sigs, r.u64le())
+		case KindHeader:
+			return r.finish(Record{Kind: kind, Header: r.header()})
+		case KindEvent:
+			return r.finish(Record{Kind: kind, Event: r.event()})
+		case KindSample:
+			return r.finish(Record{Kind: kind, Sample: r.sample()})
+		case KindDecision:
+			return r.finish(Record{Kind: kind, Decision: r.decision()})
+		case KindInstance:
+			return r.finish(Record{Kind: kind, Summary: r.instance()})
+		case KindSubspace:
+			return r.finish(Record{Kind: kind, Subspace: r.subspace()})
+		case KindScreen:
+			return r.finish(Record{Kind: kind, Screen: r.screen()})
+		case KindTransport:
+			return r.finish(Record{Kind: kind, Transport: r.transport()})
+		case KindMetric:
+			return r.finish(Record{Kind: kind, Metric: r.metric()})
+		case KindEnd:
+			return r.finish(Record{Kind: kind, End: r.end()})
+		default:
+			r.corruptf("unknown record kind %d", byte(kind))
+		}
+		if r.err != nil {
+			return Record{}, r.err
+		}
+	}
+}
+
+// finish gates a decoded record on the latched error.
+func (r *Reader) finish(rec Record) (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	return rec, nil
+}
+
+// loadChunk reads the next chunk's length prefix and payload. io.EOF at the
+// prefix is the one clean way a stream ends.
+func (r *Reader) loadChunk() error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: reading chunk length: %v", ErrCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > maxChunkSize {
+		return fmt.Errorf("%w: chunk length %d out of range", ErrCorrupt, n)
+	}
+	if cap(r.chunk) < int(n) {
+		r.chunk = make([]byte, n)
+	}
+	r.chunk = r.chunk[:n]
+	r.off = 0
+	if _, err := io.ReadFull(r.r, r.chunk); err != nil {
+		return fmt.Errorf("%w: reading %d-byte chunk: %v", ErrCorrupt, n, err)
+	}
+	return nil
+}
+
+// corruptf latches a corruption error.
+func (r *Reader) corruptf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// --- primitive decoders (error-latching, wire-codec style) ----------------
+
+func (r *Reader) rem() int { return len(r.chunk) - r.off }
+
+func (r *Reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.rem() < 1 {
+		r.corruptf("record truncated at chunk boundary")
+		return 0
+	}
+	b := r.chunk[r.off]
+	r.off++
+	return b
+}
+
+func (r *Reader) u64le() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.rem() < 8 {
+		r.corruptf("record truncated at chunk boundary")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.chunk[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *Reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.chunk[r.off:])
+	if n <= 0 {
+		r.corruptf("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *Reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.chunk[r.off:])
+	if n <= 0 {
+		r.corruptf("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *Reader) f64() float64 { return math.Float64frombits(r.u64le()) }
+
+func (r *Reader) boolb() bool { return r.u8() != 0 }
+
+func (r *Reader) rawstr() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.rem()) {
+		r.corruptf("string length %d exceeds chunk remainder %d", n, r.rem())
+		return ""
+	}
+	s := string(r.chunk[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count decodes a collection length and guards it against the bytes left in
+// the chunk (every element costs at least one byte), bounding allocations.
+func (r *Reader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.rem()) {
+		r.corruptf("count %d exceeds chunk remainder %d", n, r.rem())
+		return 0
+	}
+	return int(n)
+}
+
+// str resolves a string-table reference.
+func (r *Reader) str() string {
+	id := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if id >= uint64(len(r.strs)) {
+		r.corruptf("string ref %d outside table of %d", id, len(r.strs))
+		return ""
+	}
+	return r.strs[id]
+}
+
+// sig resolves a signature-table reference.
+func (r *Reader) sig() uint64 {
+	id := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if id >= uint64(len(r.sigs)) {
+		r.corruptf("signature ref %d outside table of %d", id, len(r.sigs))
+		return 0
+	}
+	return r.sigs[id]
+}
+
+// --- record decoders ------------------------------------------------------
+
+func (r *Reader) header() Header {
+	h := Header{
+		App:           r.rawstr(),
+		Tool:          r.rawstr(),
+		Setting:       r.rawstr(),
+		Seed:          r.varint(),
+		ScenarioHash:  r.rawstr(),
+		ExportVersion: int(r.varint()),
+	}
+	flags := r.u8()
+	h.Telemetry = flags&1 != 0
+	h.Faults = flags&2 != 0
+	return h
+}
+
+func (r *Reader) event() trace.Event {
+	inst := int(r.uvarint())
+	at := r.lastEventAt[inst] + r.varint()
+	if r.err == nil {
+		r.lastEventAt[inst] = at
+	}
+	packed := r.u8()
+	return trace.Event{
+		Instance: inst,
+		At:       sim.Duration(at),
+		Action: trace.Action{
+			Kind:   trace.ActionKind(packed & 0x3f),
+			Widget: ui.WidgetPath(r.str()),
+		},
+		From:     ui.Signature(r.sig()),
+		To:       ui.Signature(r.sig()),
+		Activity: r.str(),
+		Crashed:  packed&0x40 != 0,
+		Enforced: packed&0x80 != 0,
+	}
+}
+
+func (r *Reader) sample() Sample {
+	s := Sample{}
+	s.WallNS = r.lastWall + r.varint()
+	if r.err == nil {
+		r.lastWall = s.WallNS
+	}
+	s.MachineNS = r.varint()
+	s.Covered = int(r.varint())
+	s.Crashes = int(r.varint())
+	if r.boolb() {
+		s.AJS = r.f64()
+	}
+	return s
+}
+
+func (r *Reader) decision() obs.Decision {
+	d := obs.Decision{}
+	d.AtNS = r.lastDecAt + r.varint()
+	if r.err == nil {
+		r.lastDecAt = d.AtNS
+	}
+	d.Kind = r.str()
+	d.Instance = int(r.varint())
+	d.Sub = int(r.varint())
+	flags := r.u8()
+	if flags&decHasEntry != 0 {
+		d.Entry = r.sig()
+	}
+	if flags&decHasMembers != 0 {
+		d.Members = int(r.varint())
+	}
+	if flags&decHasScore != 0 {
+		d.Score = r.f64()
+	}
+	if flags&decHasOverlap != 0 {
+		d.Overlap = r.f64()
+	}
+	if flags&decHasPurity != 0 {
+		d.Purity = r.f64()
+	}
+	if flags&decHasReason != 0 {
+		d.Reason = r.str()
+	}
+	if flags&decHasBackoff != 0 {
+		d.BackoffNS = r.varint()
+	}
+	if flags&decHasIdle != 0 {
+		d.IdleNS = r.varint()
+	}
+	return d
+}
+
+func (r *Reader) instance() InstanceSummary {
+	s := InstanceSummary{
+		ID:          int(r.varint()),
+		AllocatedNS: r.varint(),
+		ReleasedNS:  r.varint(),
+		Failed:      r.boolb(),
+		Coverage:    int(r.varint()),
+	}
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		cr := Crash{Signature: r.str(), AtNS: r.varint()}
+		fn := r.count()
+		for j := 0; j < fn && r.err == nil; j++ {
+			cr.Frames = append(cr.Frames, r.str())
+		}
+		s.Crashes = append(s.Crashes, cr)
+	}
+	return s
+}
+
+func (r *Reader) subspace() Subspace {
+	s := Subspace{
+		ID:      int(r.varint()),
+		Entry:   r.sig(),
+		Owner:   int(r.varint()),
+		FoundNS: r.varint(),
+	}
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Members = append(s.Members, r.sig())
+	}
+	return s
+}
+
+func (r *Reader) screen() Screen {
+	return Screen{
+		Sig:      r.sig(),
+		Activity: r.str(),
+		Nodes:    int(r.varint()),
+	}
+}
+
+func (r *Reader) transport() Transport {
+	t := Transport{}
+	for _, p := range []*int{
+		&t.Events, &t.Delivered, &t.Commands, &t.CommandFailures, &t.Dropped,
+		&t.Delayed, &t.Deaths, &t.Hangs, &t.AllocFailures, &t.LostCommands,
+		&t.FailedInstances, &t.OrphansPending,
+	} {
+		*p = int(r.varint())
+	}
+	t.HasMix = r.boolb()
+	if t.HasMix {
+		for i := range t.Mix {
+			t.Mix[i] = int(r.varint())
+		}
+	}
+	return t
+}
+
+func (r *Reader) metric() obs.Metric {
+	m := obs.Metric{
+		Name:  r.str(),
+		Type:  r.str(),
+		Value: r.f64(),
+		Count: r.varint(),
+		Min:   r.f64(),
+		Max:   r.f64(),
+	}
+	n := r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Bounds = append(m.Bounds, r.f64())
+	}
+	n = r.count()
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Counts = append(m.Counts, r.varint())
+	}
+	n = r.count()
+	last := int64(0)
+	for i := 0; i < n && r.err == nil; i++ {
+		at := last + r.varint()
+		last = at
+		m.Points = append(m.Points, obs.SeriesPoint{AtNS: at, Value: r.f64()})
+	}
+	return m
+}
+
+func (r *Reader) end() End {
+	return End{
+		WallNS:        r.varint(),
+		MachineNS:     r.varint(),
+		Coverage:      int(r.varint()),
+		UniqueCrashes: int(r.varint()),
+	}
+}
