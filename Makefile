@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench bench-go fuzz scenario-hashes corpus-golden check
+.PHONY: build test race lint lint-json lint-allows vet bench bench-go fuzz scenario-hashes corpus-golden check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,16 @@ race:
 # is no tool version to pin: the go.mod toolchain pins the build.
 lint:
 	$(GO) run ./cmd/taoptvet ./...
+
+# lint-json emits the findings as a machine-readable array — what the CI
+# step uploads as an artifact when the lint gate fails.
+lint-json:
+	$(GO) run ./cmd/taoptvet -json ./...
+
+# lint-allows audits every //lint:allow suppression with its mandatory
+# justification; TestRepoIsLintClean pins the count.
+lint-allows:
+	$(GO) run ./cmd/taoptvet -allows ./...
 
 vet:
 	$(GO) vet ./...

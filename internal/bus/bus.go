@@ -188,6 +188,8 @@ type Inline struct {
 func NewInline() *Inline { return &Inline{} }
 
 // Publish implements Transport.
+//
+//lint:hotpath
 func (t *Inline) Publish(ev trace.Event) {
 	t.stats.Published++
 	t.stats.Delivered++
@@ -206,6 +208,8 @@ func (t *Inline) Bind(ex Executor) { t.ex = ex }
 // record what the coordinator asked for; CommandFailures records which of
 // those attempts came back with an error (unbound transport included), so
 // attempted and delivered commands are never conflated.
+//
+//lint:hotpath
 func (t *Inline) Send(cmd Command) Reply {
 	t.stats.Commands++
 	if cmd.Kind >= 0 && int(cmd.Kind) < NumCommandKinds {

@@ -41,6 +41,8 @@ type faulty struct {
 // Publish implements Transport: each event is dropped, delayed, or forwarded
 // per the plan's trace-delivery stream. A delayed event re-enters the inner
 // transport when its delay elapses on the virtual clock.
+//
+//lint:hotpath
 func (t *faulty) Publish(ev trace.Event) {
 	drop, delay := t.plan.TraceDelivery(t.sched.Now())
 	if drop {
@@ -93,6 +95,10 @@ func (t *faulty) Send(cmd Command) Reply {
 			t.swallow(cmd)
 			return Reply{Instance: cmd.Instance, Err: fmt.Errorf("bus: injected command loss: %w", ErrTimeout)}
 		}
+		return t.inner.Send(cmd)
+	case Deallocate, Kill, Hang:
+		// Releases and injected fates pass through untouched: the plan's
+		// outage and loss models apply only to allocations and blocks.
 		return t.inner.Send(cmd)
 	default:
 		return t.inner.Send(cmd)

@@ -71,6 +71,8 @@ func New(now func() sim.Duration) *Transport {
 
 // Publish implements bus.Transport: the event is framed, written up the
 // pipe, and delivered to subscribers when the coordinator side drains it.
+//
+//lint:hotpath
 func (t *Transport) Publish(ev trace.Event) {
 	t.stats.Published++
 	t.write(t.inst, Frame{Kind: FrameEvent, At: t.now(), Event: ev}, &t.wire.FramesUp, &t.wire.BytesUp)
@@ -146,6 +148,7 @@ func (t *Transport) write(c *Conn, f Frame, frames, bytes *int) {
 // arrival order, replies queue for the Send in progress.
 func (t *Transport) pumpUp() {
 	for _, f := range t.drain(t.coord, &t.upBuf) {
+		//lint:allow exhaustive "only event and reply frames are legal on the up pipe; every other kind is protocol corruption the default fails loudly on"
 		switch f.Kind {
 		case FrameEvent:
 			t.stats.Delivered++

@@ -63,6 +63,8 @@ func (t *SpaceTracker) Len() int { return len(t.seq) }
 
 // Push appends one visit to the window: interning, the window counts and the
 // distinct total are all O(1) amortised.
+//
+//lint:hotpath
 func (t *SpaceTracker) Push(v ScreenVisit) {
 	id := t.it.intern(v.Sig)
 	if int(id) >= len(t.cnt) {
@@ -141,6 +143,8 @@ func (t *SpaceTracker) ensureScratch() {
 // maintained window counts instead of an O(N) recount, and a memoised
 // sigmoid table (the purity term takes at most one value per distinct-count,
 // computed from the identical expression) instead of one exp call per split.
+//
+//lint:hotpath
 func (t *SpaceTracker) Analyze() (FindSpaceResult, bool) {
 	n := len(t.seq)
 	if n < 3 {
@@ -284,7 +288,7 @@ func (t *SpaceTracker) Analyze() (FindSpaceResult, bool) {
 	// (the coordinator stores them as pending reports).
 	t.epoch++
 	epoch = t.epoch
-	var members []ui.Signature
+	members := make([]ui.Signature, 0, n-pOut)
 	for i := pOut; i < n; i++ {
 		d := seq[i]
 		if t.seen[d] != epoch {

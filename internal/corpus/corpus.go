@@ -115,6 +115,13 @@ func Scan(r io.Reader, name string, size int64) (*RunStat, error) {
 			st.Coverage = rec.End.Coverage
 			st.UniqueCrashes = rec.End.UniqueCrashes
 			sawEnd = true
+		case bin.KindTransport:
+			// Chaos transport accounting is export-level detail; corpus
+			// stats aggregate run outcomes only.
+		case bin.KindHeader, bin.KindStrDef, bin.KindSigDef:
+			// The Reader consumes header and interning records internally;
+			// one surfacing from Next means the stream (or Reader) is broken.
+			return nil, fmt.Errorf("corpus: %s: %w: %v record surfaced mid-stream", name, bin.ErrCorrupt, rec.Kind)
 		}
 	}
 	if !sawEnd {

@@ -209,6 +209,10 @@ func (e *Emulator) Perform(a Action, now sim.Duration) Result {
 			}
 			e.showScreen(next)
 		}
+	case trace.ActionLaunch:
+		// Launches are synthesized by the crash-restart path and the
+		// initial show; a tool never performs one as an input action.
+		panic("device: ActionLaunch is emulator-synthesized, not performable")
 	default:
 		panic(fmt.Sprintf("device: cannot perform action kind %v", a.Kind))
 	}

@@ -230,6 +230,10 @@ func ReadBin(rd io.Reader) (*Run, error) {
 			out.Coverage = e.Coverage
 			out.UniqueCrashes = e.UniqueCrashes
 			sawEnd = true
+		case bin.KindHeader, bin.KindStrDef, bin.KindSigDef:
+			// The Reader consumes header and interning records internally;
+			// one surfacing from Next means the stream (or Reader) is broken.
+			return nil, fmt.Errorf("%w: %v record surfaced mid-stream", bin.ErrCorrupt, rec.Kind)
 		default:
 			return nil, fmt.Errorf("%w: unexpected %v record", bin.ErrCorrupt, rec.Kind)
 		}

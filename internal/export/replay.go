@@ -176,6 +176,7 @@ func (e *wireReplay) consumeExchange(cmd bus.Command) bus.Reply {
 			e.fail("exchange for %s has no reply", cmd.Kind)
 			return bus.Reply{Err: fmt.Errorf("export: replay diverged")}
 		}
+		//lint:allow exhaustive "only screen, lease and reply frames are legal inside an exchange; the default fails the replay as divergence"
 		switch f.Kind {
 		case wire.FrameScreen:
 			e.observe(f)
@@ -202,6 +203,9 @@ func (e *wireReplay) apply(cmd bus.Command, rep bus.Reply) {
 		if rep.Err == nil {
 			e.removeActive(cmd.Instance)
 		}
+	case bus.BlockWidget, bus.BlockMember, bus.Kill, bus.Hang:
+		// Blocks steer tools and fates arrive as FrameFate injections;
+		// neither changes the mirrored active set here.
 	}
 }
 
@@ -273,6 +277,11 @@ func (e *wireReplay) drive() {
 			e.summaries[f.Summary.ID] = f.Summary
 		case wire.FrameRunEnd:
 			e.end = &f.End
+		case wire.FrameHeader, wire.FrameReply:
+			// The header is consumed before drive starts and replies are
+			// consumed inside their exchange; either at top level means the
+			// log and this replayer have diverged.
+			e.fail("%v frame outside its exchange (replay diverged)", f.Kind)
 		default:
 			e.fail("unhandled frame kind %v", f.Kind)
 		}

@@ -181,6 +181,40 @@ func DefaultConfig() *Config {
 				},
 				Hint: "the coordinator talks to instances only through bus.Sender/bus.Executor; importing device or harness shortcuts the PR-2 seam",
 			},
+			{
+				Pkg: "taopt/internal/harness",
+				Allow: []string{
+					"taopt/internal/app", "taopt/internal/apps", "taopt/internal/bus",
+					"taopt/internal/core", "taopt/internal/coverage", "taopt/internal/crash",
+					"taopt/internal/device", "taopt/internal/faults", "taopt/internal/graph",
+					"taopt/internal/metrics", "taopt/internal/obs", "taopt/internal/scenario",
+					"taopt/internal/sim", "taopt/internal/toller", "taopt/internal/tools",
+					"taopt/internal/trace", "taopt/internal/ui",
+				},
+				Hint: "the harness is the top-of-stack run executor wiring every layer together; only export/report and the binaries sit above it — it must never import those, or the lint/corpus toolchain",
+			},
+			{
+				Pkg: "taopt/internal/export",
+				Allow: []string{
+					"taopt/internal/bus", "taopt/internal/core", "taopt/internal/harness",
+					"taopt/internal/obs", "taopt/internal/sim", "taopt/internal/trace",
+					"taopt/internal/ui",
+				},
+				Hint: "export renders and replays finished runs; it reads the run-side layers but only the binaries sit above it",
+			},
+			{
+				Pkg: "taopt/internal/report",
+				Allow: []string{
+					"taopt/internal/faults", "taopt/internal/harness", "taopt/internal/metrics",
+					"taopt/internal/obs", "taopt/internal/sim",
+				},
+				Hint: "report renders experiment tables from harness results; it never reaches below the harness",
+			},
+			{
+				Pkg:   "taopt/internal/lint",
+				Allow: nil,
+				Hint:  "the lint suite analyzes the module from outside; it must not import the code it checks",
+			},
 		},
 	}
 }

@@ -14,8 +14,9 @@ func TestConfigMatching(t *testing.T) {
 		{"taopt/internal/bus", true, "taopt/internal/bus"},
 		{"taopt/internal/bus/wire", true, "taopt/internal/bus/wire"},
 		{"taopt/internal/sim", true, "taopt/internal/sim"},
-		{"taopt/internal/harness", true, ""},
-		{"taopt/internal/harness/fleet", true, ""},
+		// Subtree inheritance: fleet is governed by the harness rule.
+		{"taopt/internal/harness", true, "taopt/internal/harness"},
+		{"taopt/internal/harness/fleet", true, "taopt/internal/harness"},
 		{"taopt/internal/cli", true, "taopt/internal/cli"},
 		{"taopt/cmd/taopt", false, ""},
 		{"taopt", false, ""},

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive enforces the enum-exhaustiveness contract on the module's
+// hand-maintained kind families (wire frame kinds, bus command kinds, binary
+// trace record kinds, fault kinds, ...): every `switch` over a module-defined
+// `type X int`/`type X string` enum must name every member of its const
+// block. A `default` clause does not excuse missing members — a default is
+// runtime handling for values that should not occur, while a missing case is
+// a codec or dispatcher silently out of sync with the enum, exactly the
+// drift class that breaks byte-identical replay. Deliberate catch-alls carry
+// a //lint:allow exhaustive "why" on the switch line instead.
+func Exhaustive(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustive",
+		Doc: "require switches over module-defined int/string enums (frame kinds, command kinds, record kinds) " +
+			"to name every member of the const block; a default does not excuse a missing case",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkSwitch(pass, cfg, sw)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// enumType resolves t to a module-defined named type with a basic integer
+// or string underlying — the shape of this repository's kind enums.
+func enumType(cfg *Config, t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasPrefix(obj.Pkg().Path()+"/", cfg.ModulePrefix) {
+		return nil // stdlib enums (reflect.Kind, token.Token) are not ours to police
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	return named
+}
+
+// enumMembers returns the constants of the enum declared in its defining
+// package, keyed by exact constant value (aliases sharing a value collapse
+// into one member). Names joins the aliases for diagnostics.
+func enumMembers(named *types.Named) map[string]string {
+	scope := named.Obj().Pkg().Scope()
+	members := make(map[string]string)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if prev, ok := members[key]; ok {
+			members[key] = prev + "/" + name
+		} else {
+			members[key] = name
+		}
+	}
+	return members
+}
+
+func checkSwitch(pass *Pass, cfg *Config, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named := enumType(cfg, tv.Type)
+	if named == nil {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return // a one-constant type is not an enum family
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			cv, ok := pass.TypesInfo.Types[expr]
+			if !ok || cv.Value == nil {
+				// A non-constant case guard (a variable, a call): coverage
+				// cannot be proven statically, so the switch is out of the
+				// contract's reach — stay silent rather than guess.
+				return
+			}
+			covered[cv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for key, name := range members {
+		if !covered[key] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	typeName := named.Obj().Name()
+	if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() != pass.Pkg.Path() {
+		typeName = pkg.Name() + "." + typeName
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over %s misses %s (%d of %d members); name every member (a default does not "+
+			"count as coverage) or annotate //lint:allow exhaustive \"why the catch-all is safe\"",
+		typeName, strings.Join(missing, ", "), len(missing), len(members))
+}

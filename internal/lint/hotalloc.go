@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function as allocation-governed. It is a plain
+// doc-comment line, not a //lint:allow form, because it opts a function
+// *into* a check rather than out of one.
+const hotpathDirective = "lint:hotpath"
+
+// sprintFuncs are the fmt string-builders that allocate on every call. The
+// error-constructing fmt.Errorf stays legal: hot functions here latch errors
+// on cold failure paths, and banning Errorf would just push authors to
+// errors.New+concat.
+var sprintFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+// Hotalloc is the event-path allocation lint: inside functions annotated
+// //lint:hotpath (the SpaceTracker Observe path, the binary trace
+// Writer/Reader record codecs, the bus Publish/Send path) it flags the
+// allocation patterns that dominated the PR-5 profiles — fmt string
+// building, string concatenation in loops, closures capturing per-iteration
+// loop variables, and appends into never-preallocated local slices inside
+// loops. It is AST-level and intraprocedural: the annotation governs the
+// function body, not its callees.
+func Hotalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc: "flag allocation patterns (fmt.Sprint*, loop string concat, loop-variable captures, " +
+			"append without prealloc) inside functions annotated //lint:hotpath — the zero-alloc event path",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotpath(fn) {
+					continue
+				}
+				checkHotFunc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	// Local slice variables never allocated with a capacity: `var s []T`,
+	// `s := []T{}`, or `s := make([]T, 0)`. Appending to one inside a loop
+	// grows it a doubling at a time — the prealloc the lint demands.
+	coldSlices := collectColdSlices(pass, fn.Body)
+
+	// fmt string builders anywhere in the hot body.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" {
+			return true
+		}
+		if sprintFuncs[callee.Name()] {
+			pass.Reportf(call.Pos(),
+				"fmt.%s in hot path %s allocates a string per call; build into a reused buffer "+
+					"(or annotate //lint:allow hotalloc \"why\" for a cold branch)",
+				callee.Name(), name)
+		}
+		return true
+	})
+
+	// Loop-scoped checks.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		loopVars := make(map[types.Object]bool)
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			body = n.Body
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		default:
+			return true
+		}
+		checkHotLoop(pass, name, body, loopVars, coldSlices)
+		return true
+	})
+}
+
+// checkHotLoop applies the per-iteration checks to one loop body.
+func checkHotLoop(pass *Pass, fname string, body *ast.BlockStmt, loopVars map[types.Object]bool, coldSlices map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass, n.X) && !isConstExpr(pass, n) {
+				pass.Reportf(n.Pos(),
+					"string concatenation inside a loop in hot path %s allocates per iteration; "+
+						"append into a reused []byte instead", fname)
+				return false // one report per concat chain
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(),
+					"string += inside a loop in hot path %s allocates per iteration; "+
+						"append into a reused []byte instead", fname)
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && coldSlices[obj] {
+					pass.Reportf(n.Pos(),
+						"append to %s inside a loop in hot path %s, but %s was declared without capacity; "+
+							"preallocate with make(..., 0, n)", id.Name, fname, id.Name)
+				}
+			}
+		case *ast.FuncLit:
+			for obj := range loopVars {
+				if usesObject(pass, n.Body, obj) {
+					pass.Reportf(n.Pos(),
+						"closure in hot path %s captures loop variable %s; per-iteration captures force a "+
+							"heap allocation each pass — hoist the closure or pass the value as an argument",
+						fname, obj.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectColdSlices finds function-local slice variables declared without a
+// capacity hint.
+func collectColdSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	cold := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gen, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, id := range vs.Names {
+					obj := pass.TypesInfo.Defs[id]
+					if obj != nil && isSliceType(obj.Type()) {
+						cold[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				if isZeroCapSliceExpr(pass, rhs) {
+					cold[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// isZeroCapSliceExpr reports whether e builds an empty slice with no
+// capacity: `[]T{}` or `make([]T, 0)` (two-argument make).
+func isZeroCapSliceExpr(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0 && isSliceType(pass.TypesInfo.Types[e].Type)
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+		if !ok || b.Name() != "make" || len(e.Args) != 2 {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[e.Args[1]]
+		return ok && tv.Value != nil && tv.Value.ExactString() == "0"
+	}
+	return false
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func usesObject(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestHotallocFlagsAnnotatedFunctions(t *testing.T) {
+	linttest.Run(t, lint.Hotalloc(), "taopt/internal/core", "testdata/hotalloc/flagged")
+}
+
+func TestHotallocIgnoresUnannotatedAndPreallocated(t *testing.T) {
+	linttest.Run(t, lint.Hotalloc(), "taopt/internal/core", "testdata/hotalloc/clean")
+}

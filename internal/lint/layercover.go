@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Layercover is the layering drift guard: every package under the module's
+// internal/ tree must be governed by a buslayer rule (its own, or an
+// enclosing tree's). Without this check a new package sails through buslayer
+// unconstrained — buslayer only restricts packages the table names, so
+// "forgot to add a rule" silently means "may import anything", which is how
+// layering tables rot as the package count climbs.
+func Layercover(cfg *Config) *Analyzer {
+	governed := strings.TrimSuffix(cfg.ModulePrefix, "/") + "/internal"
+	a := &Analyzer{
+		Name: "layercover",
+		Doc: "require every internal/ package to be covered by a buslayer rule so new packages " +
+			"declare their allowed imports instead of defaulting to unconstrained",
+	}
+	a.Run = func(pass *Pass) error {
+		path := pass.Pkg.Path()
+		if !matches(path, governed) {
+			return nil
+		}
+		if cfg.layerRule(path) != nil {
+			return nil
+		}
+		if len(pass.Files) == 0 {
+			return nil
+		}
+		pass.Reportf(pass.Files[0].Package,
+			"package %s has no buslayer layering rule; add a LayerRule for it (or an enclosing tree) "+
+				"to DefaultConfig in internal/lint/config.go so its module-internal imports are constrained",
+			path)
+		return nil
+	}
+	return a
+}
+
+// StaleLayerRules is the reverse direction of the drift guard, run over the
+// full `go list ./...` package set rather than per package: it returns one
+// message per layer rule whose governed tree no longer matches any loaded
+// package — a rule left behind by a rename or deletion. cmd/taoptvet applies
+// it on whole-module runs and TestRepoLayerTableFresh pins it in CI.
+func StaleLayerRules(cfg *Config, pkgPaths []string) []string {
+	var stale []string
+	for _, r := range cfg.Layers {
+		live := false
+		for _, p := range pkgPaths {
+			if matches(p, r.Pkg) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			stale = append(stale, fmt.Sprintf(
+				"layer rule for %s matches no package in the module; delete the rule or fix its tree path", r.Pkg))
+		}
+	}
+	return stale
+}

@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestLayercoverFlagsUnruledPackage(t *testing.T) {
+	linttest.Run(t, lint.Layercover(lint.DefaultConfig()), "taopt/internal/throwaway", "testdata/layercover/throwaway")
+}
+
+func TestLayercoverAcceptsRuledPackage(t *testing.T) {
+	linttest.Run(t, lint.Layercover(lint.DefaultConfig()), "taopt/internal/core", "testdata/layercover/covered")
+}
+
+func TestLayercoverAcceptsSubtreeInheritance(t *testing.T) {
+	// bus/wire has its own rule, but any subtree of a ruled tree counts:
+	// check a path that only an enclosing rule covers.
+	linttest.Run(t, lint.Layercover(lint.DefaultConfig()), "taopt/internal/core/deep/leaf", "testdata/layercover/covered")
+}
+
+func TestLayercoverIgnoresPackagesOutsideInternal(t *testing.T) {
+	// The binaries under cmd/ are not governed; no rule, no finding.
+	linttest.Run(t, lint.Layercover(lint.DefaultConfig()), "taopt/cmd/sometool", "testdata/layercover/covered")
+}
+
+func TestStaleLayerRules(t *testing.T) {
+	cfg := &lint.Config{
+		ModulePrefix: "taopt/",
+		Layers: []lint.LayerRule{
+			{Pkg: "taopt/internal/core"},
+			{Pkg: "taopt/internal/renamed"},
+		},
+	}
+	live := []string{"taopt/internal/core", "taopt/internal/core/sub", "taopt/internal/bus"}
+	stale := lint.StaleLayerRules(cfg, live)
+	if len(stale) != 1 {
+		t.Fatalf("StaleLayerRules = %v, want exactly one message", stale)
+	}
+	if !strings.Contains(stale[0], "taopt/internal/renamed") {
+		t.Fatalf("stale message %q does not name the dead rule", stale[0])
+	}
+	if got := lint.StaleLayerRules(cfg, append(live, "taopt/internal/renamed/child")); len(got) != 0 {
+		t.Fatalf("a rule matching a subpackage must count as live, got %v", got)
+	}
+}

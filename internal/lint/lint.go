@@ -1,7 +1,7 @@
 // Package lint is taoptvet's analysis framework: a small, stdlib-only
 // reimplementation of the golang.org/x/tools/go/analysis surface plus the
-// four analyzers that enforce this repository's determinism and layering
-// contracts (see DESIGN.md §10):
+// analyzers that enforce this repository's determinism, layering and
+// hot-path contracts (see DESIGN.md §10):
 //
 //   - walltime: deterministic packages must drive runs from sim.Clock
 //     virtual time, never the process wall clock.
@@ -10,6 +10,14 @@
 //   - maporder: output paths must never depend on Go map iteration order.
 //   - buslayer: the coordinator talks to instances only through the bus
 //     seam; imports that shortcut the layering are rejected.
+//   - exhaustive: switches over module kind enums (wire frames, commands,
+//     binary trace records, faults) must name every const-block member.
+//   - sentinelerr: sentinel errors are classified with errors.Is, never
+//     ==/!=, because the wire codec re-frames them by wrapping.
+//   - hotalloc: functions annotated //lint:hotpath reject the allocation
+//     patterns that dominate the event-path profiles.
+//   - layercover: every internal/ package must be covered by a buslayer
+//     rule, so new packages cannot ship unconstrained.
 //
 // The framework is intentionally API-compatible in spirit with go/analysis
 // (Analyzer, Pass, Diagnostic) so the suite can migrate to the real
@@ -75,20 +83,23 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// allowDirective is one parsed //lint:allow comment.
-type allowDirective struct {
-	analyzer      string
-	justification string
-	pos           token.Pos
+// An Allow is one parsed, well-formed //lint:allow directive — the audit
+// record `taoptvet -allows` lists and TestRepoAllowBudget pins.
+type Allow struct {
+	// Analyzer is the suppressed analyzer's name.
+	Analyzer string
+	// Justification is the mandatory quoted why-string.
+	Justification string
+	// Pos locates the directive comment.
+	Pos token.Position
 }
 
 var allowRE = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9-]*)(?:\s+"((?:[^"\\]|\\.)*)")?\s*$`)
 
-// collectAllows scans a package's comments for //lint:allow directives and
-// indexes them by file and line. A directive without a justification string
-// is itself a violation: the escape hatch requires saying why.
-func collectAllows(p *Package, report func(Finding)) map[string][]allowDirective {
-	allows := make(map[string][]allowDirective)
+// scanAllows walks one package's comments for //lint:allow directives,
+// calling report for each malformed one (the escape hatch requires saying
+// why) and found for each well-formed one.
+func scanAllows(p *Package, report func(Finding), found func(Allow)) {
 	for _, file := range p.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
@@ -107,14 +118,42 @@ func collectAllows(p *Package, report func(Finding)) map[string][]allowDirective
 					})
 					continue
 				}
-				key := allowKey(pos.Filename, pos.Line)
-				allows[key] = append(allows[key], allowDirective{
-					analyzer: m[1], justification: m[2], pos: c.Pos(),
-				})
+				found(Allow{Analyzer: m[1], Justification: m[2], Pos: pos})
 			}
 		}
 	}
+}
+
+// collectAllows indexes a package's well-formed allow directives by file and
+// line for suppression lookup.
+func collectAllows(p *Package, report func(Finding)) map[string][]Allow {
+	allows := make(map[string][]Allow)
+	scanAllows(p, report, func(a Allow) {
+		key := allowKey(a.Pos.Filename, a.Pos.Line)
+		allows[key] = append(allows[key], a)
+	})
 	return allows
+}
+
+// ModuleAllows collects every well-formed //lint:allow directive across pkgs
+// in file/line order — the suppression audit. Malformed directives are
+// returned separately as findings.
+func ModuleAllows(pkgs []*Package) ([]Allow, []Finding) {
+	var allows []Allow
+	var malformed []Finding
+	for _, p := range pkgs {
+		scanAllows(p, func(f Finding) { malformed = append(malformed, f) }, func(a Allow) {
+			allows = append(allows, a)
+		})
+	}
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return allows, malformed
 }
 
 func allowKey(filename string, line int) string {
@@ -123,10 +162,10 @@ func allowKey(filename string, line int) string {
 
 // suppressed reports whether a diagnostic at pos from the named analyzer is
 // covered by an allow directive on the same line or the line directly above.
-func suppressed(allows map[string][]allowDirective, analyzer string, pos token.Position) bool {
+func suppressed(allows map[string][]Allow, analyzer string, pos token.Position) bool {
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, a := range allows[allowKey(pos.Filename, line)] {
-			if a.analyzer == analyzer {
+			if a.Analyzer == analyzer {
 				return true
 			}
 		}
@@ -184,5 +223,9 @@ func Analyzers(cfg *Config) []*Analyzer {
 		Globalrand(cfg),
 		Maporder(),
 		Buslayer(cfg),
+		Exhaustive(cfg),
+		Sentinelerr(cfg),
+		Hotalloc(),
+		Layercover(cfg),
 	}
 }

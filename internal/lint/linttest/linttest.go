@@ -12,6 +12,7 @@
 package linttest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"os"
@@ -29,7 +30,10 @@ var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 // reports mismatches against the // want comments through t.
 func Run(t *testing.T, a *lint.Analyzer, pkgpath, dir string) {
 	t.Helper()
-	findings := analyze(t, a, pkgpath, dir)
+	findings, err := Analyze(pkgpath, dir, a)
+	if err != nil {
+		t.Fatalf("analyzing %s as %s: %v", dir, pkgpath, err)
+	}
 	wants := collectWants(t, dir)
 
 	matched := make([]bool, len(wants))
@@ -52,16 +56,20 @@ func Run(t *testing.T, a *lint.Analyzer, pkgpath, dir string) {
 	}
 }
 
-func analyze(t *testing.T, a *lint.Analyzer, pkgpath, dir string) []lint.Finding {
-	t.Helper()
+// Analyze type-checks dir as a package imported as pkgpath and runs the
+// given analyzers over it, returning the surviving findings. Unlike Run it
+// returns failures (unparseable sources, type-check errors, analyzer
+// errors) instead of reporting through a testing.T, so harness self-tests
+// can assert that bad input produces a clear error rather than a panic.
+func Analyze(pkgpath, dir string, as ...*lint.Analyzer) ([]lint.Finding, error) {
 	root, err := lint.ModuleRoot(".")
 	if err != nil {
-		t.Fatalf("locating module root: %v", err)
+		return nil, fmt.Errorf("locating module root: %w", err)
 	}
 	loader := lint.NewLoader(root)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading %s: %v", dir, err)
+		return nil, fmt.Errorf("reading %s: %w", dir, err)
 	}
 	var files []*ast.File
 	for _, e := range entries {
@@ -70,22 +78,22 @@ func analyze(t *testing.T, a *lint.Analyzer, pkgpath, dir string) []lint.Finding
 		}
 		f, err := parser.ParseFile(loader.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing %s: %v", e.Name(), err)
+			return nil, fmt.Errorf("parsing %s: %w", e.Name(), err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("no Go files in %s", dir)
+		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
 	pkg, err := loader.CheckFiles(pkgpath, files)
 	if err != nil {
-		t.Fatalf("type-checking %s as %s: %v", dir, pkgpath, err)
+		return nil, fmt.Errorf("type-checking %s as %s: %w", dir, pkgpath, err)
 	}
-	findings, err := lint.Analyze([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	findings, err := lint.Analyze([]*lint.Package{pkg}, as)
 	if err != nil {
-		t.Fatalf("analyzing %s: %v", dir, err)
+		return nil, fmt.Errorf("analyzing %s: %w", dir, err)
 	}
-	return findings
+	return findings, nil
 }
 
 type want struct {

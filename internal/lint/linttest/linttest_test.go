@@ -1,0 +1,78 @@
+package linttest_test
+
+import (
+	"strings"
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+// TestMultiAnalyzerSuppressionOnOneLine runs two analyzers over a line that
+// violates both and carries one //lint:allow per analyzer (one trailing, one
+// on the line above): every finding must be suppressed, and neither
+// directive may shadow the other.
+func TestMultiAnalyzerSuppressionOnOneLine(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	findings, err := linttest.Analyze("taopt/internal/core", "testdata/multiallow",
+		lint.Walltime(cfg), lint.Globalrand(cfg))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding survived stacked suppressions: %s", f)
+	}
+}
+
+// TestMalformedAllowDirectives feeds every broken //lint:allow shape through
+// the harness: each must surface as a "lint" finding, and a bare directive
+// must not silently suppress anything.
+func TestMalformedAllowDirectives(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	findings, err := linttest.Analyze("taopt/internal/core", "testdata/malformed", lint.Walltime(cfg))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	const wantMalformed = 4
+	var malformed int
+	for _, f := range findings {
+		if f.Analyzer != "lint" {
+			t.Errorf("unexpected %s finding: %s", f.Analyzer, f)
+			continue
+		}
+		if !strings.Contains(f.Message, "malformed or unjustified") {
+			t.Errorf("malformed directive produced unexpected message: %s", f)
+		}
+		malformed++
+	}
+	if malformed != wantMalformed {
+		t.Errorf("got %d malformed-directive findings, want %d", malformed, wantMalformed)
+	}
+}
+
+// TestTypeCheckFailureIsAnError hands the harness a package that parses but
+// does not type-check: Analyze must return a descriptive error — naming the
+// failure — rather than panicking inside an analyzer.
+func TestTypeCheckFailureIsAnError(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	_, err := linttest.Analyze("taopt/internal/core", "testdata/broken", lint.Walltime(cfg))
+	if err == nil {
+		t.Fatal("Analyze accepted a package that does not type-check")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q does not say the package failed to type-check", err)
+	}
+	if !strings.Contains(err.Error(), "undefinedIdentifier") && !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("error %q does not name the type-check failure", err)
+	}
+}
+
+// TestMissingDirIsAnError pins the harness's behavior on a path typo: a
+// clear error, not an empty finding list that would let a broken test pass.
+func TestMissingDirIsAnError(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	_, err := linttest.Analyze("taopt/internal/core", "testdata/no-such-dir", lint.Walltime(cfg))
+	if err == nil {
+		t.Fatal("Analyze accepted a nonexistent testdata directory")
+	}
+}

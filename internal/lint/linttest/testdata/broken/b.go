@@ -1,0 +1,8 @@
+// Package broken is harness self-test data: it parses but does not
+// type-check. The harness must surface a clear type-checking error, not
+// panic inside an analyzer that assumes resolved types.
+package broken
+
+func f() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,24 @@
+// Package malformed is harness self-test data: every directive below is a
+// broken //lint:allow form and must surface as a "lint" finding — the
+// escape hatch requires saying why.
+package malformed
+
+func bareDirective() int {
+	//lint:allow walltime
+	return 1
+}
+
+func missingQuotes() int {
+	//lint:allow walltime because reasons
+	return 2
+}
+
+func emptyJustification() int {
+	//lint:allow walltime ""
+	return 3
+}
+
+func unknownShape() int {
+	//lint:allow
+	return 4
+}

@@ -1,0 +1,15 @@
+// Package multiallow is harness self-test data: one line violates two
+// analyzers at once (walltime via time.Now, globalrand via the package-level
+// rand constructors) and carries one suppression per analyzer — a trailing
+// directive and an above-line directive must stack, not mask each other.
+package multiallow
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedFromClock() *rand.Rand {
+	//lint:allow globalrand "harness self-test: stacked with the walltime directive on the line below"
+	return rand.New(rand.NewSource(time.Now().UnixNano())) //lint:allow walltime "harness self-test: same line as the globalrand violation"
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"taopt/internal/lint"
+	"taopt/internal/lint/linttest"
+)
+
+func TestSentinelerrFlagsIdentityComparison(t *testing.T) {
+	linttest.Run(t, lint.Sentinelerr(lint.DefaultConfig()), "taopt/internal/core", "testdata/sentinelerr/flagged")
+}
+
+func TestSentinelerrAcceptsErrorsIsAndStdlib(t *testing.T) {
+	linttest.Run(t, lint.Sentinelerr(lint.DefaultConfig()), "taopt/internal/core", "testdata/sentinelerr/clean")
+}

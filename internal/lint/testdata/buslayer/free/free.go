@@ -1,6 +1,6 @@
 // Package free is buslayer testdata; the harness checks it under the
-// import path taopt/internal/harness, which has no layer rule — the top
-// of the stack may import anything, so none of these imports are flagged.
+// import path taopt/cmd/freebird, which has no layer rule — the binaries
+// may import anything, so none of these imports are flagged.
 package free
 
 import (

@@ -1,0 +1,103 @@
+// Package clean is exhaustive testdata; every switch here satisfies the
+// contract, so the analyzer must stay silent.
+package clean
+
+import (
+	"go/token"
+
+	"taopt/internal/bus"
+)
+
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+
+	// KindLast aliases KindC; naming either one covers the value.
+	KindLast = KindC
+)
+
+// Solo is a one-constant type: not an enum family, never checked.
+type Solo int
+
+// OnlySolo is the single Solo value.
+const OnlySolo Solo = 0
+
+func fullCoverage(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB, KindC:
+		return 2
+	}
+	return 0
+}
+
+// Full coverage plus a default for corrupt input is the String()-method
+// pattern and stays clean: the default only fires for out-of-range values.
+func fullCoverageWithDefault(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindLast:
+		return "c"
+	default:
+		return "corrupt"
+	}
+}
+
+func justifiedCatchAll(k Kind) bool {
+	//lint:allow exhaustive "only KindA reaches this path; the rest are filtered upstream"
+	switch k {
+	case KindA:
+		return true
+	}
+	return false
+}
+
+// A non-constant case guard makes coverage unprovable; the analyzer stays
+// silent rather than guess.
+func nonConstantCase(k, boundary Kind) bool {
+	switch k {
+	case boundary:
+		return true
+	case KindA:
+		return false
+	}
+	return false
+}
+
+func soloType(s Solo) bool {
+	switch s {
+	case OnlySolo:
+		return true
+	}
+	return false
+}
+
+// Stdlib enums are not ours to police.
+func stdlibEnum(t token.Token) bool {
+	switch t {
+	case token.ADD:
+		return true
+	}
+	return false
+}
+
+// A cross-package switch covering every command kind: NumCommandKinds is
+// declared as an int, not a CommandKind, so membership must not demand it.
+func commandDispatch(k bus.CommandKind) string {
+	switch k {
+	case bus.Allocate, bus.Deallocate:
+		return "lease"
+	case bus.BlockWidget, bus.BlockMember:
+		return "steer"
+	case bus.Kill, bus.Hang:
+		return "fault"
+	}
+	return ""
+}

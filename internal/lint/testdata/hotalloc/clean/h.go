@@ -1,0 +1,78 @@
+// Package clean is hotalloc testdata: the unannotated twin of every flagged
+// pattern, plus the hot-path spellings the analyzer must accept.
+package clean
+
+import "fmt"
+
+// unannotated functions may allocate freely — the directive opts in.
+func unannotated(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += fmt.Sprintf(",%s", n)
+	}
+	return out
+}
+
+// preallocated appends into a capacity-hinted slice: the pattern the lint
+// pushes authors toward.
+//
+//lint:hotpath
+func preallocated(n int) []int {
+	acc := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		acc = append(acc, i)
+	}
+	return acc
+}
+
+// reusedBuffer appends bytes instead of concatenating strings.
+//
+//lint:hotpath
+func reusedBuffer(buf []byte, names []string) []byte {
+	for _, n := range names {
+		buf = append(buf, n...)
+	}
+	return buf
+}
+
+// errorfOnColdBranch: fmt.Errorf stays legal — hot functions latch errors on
+// cold failure paths, and banning it would just push authors to concat.
+//
+//lint:hotpath
+func errorfOnColdBranch(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n)
+	}
+	return nil
+}
+
+// hoistedClosure takes the loop variable as an argument instead of
+// capturing it.
+//
+//lint:hotpath
+func hoistedClosure(xs []int) {
+	f := func(x int) { _ = x * 2 }
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// justified keeps a deliberate allocation with a reason.
+//
+//lint:hotpath
+func justified(id int) string {
+	//lint:allow hotalloc "debug-only label; compiled out of release profiles"
+	return fmt.Sprintf("instance-%d", id)
+}
+
+// constConcat folds at compile time; no per-iteration allocation.
+//
+//lint:hotpath
+func constConcat(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		const tag = "x" + "y"
+		s = tag
+	}
+	return s
+}

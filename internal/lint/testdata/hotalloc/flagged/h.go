@@ -1,0 +1,81 @@
+// Package flagged is hotalloc testdata: every function below is annotated
+// //lint:hotpath and trips one of the allocation patterns the analyzer
+// rejects on the zero-alloc event path.
+package flagged
+
+import "fmt"
+
+// sprintInHotBody builds a string with fmt on the hot path.
+//
+//lint:hotpath
+func sprintInHotBody(id int) string {
+	return fmt.Sprintf("instance-%d", id) // want "fmt.Sprintf in hot path sprintInHotBody allocates a string per call"
+}
+
+// sprintVariants: every fmt string-builder counts, not just Sprintf.
+//
+//lint:hotpath
+func sprintVariants(v any) string {
+	s := fmt.Sprint(v)   // want "fmt.Sprint in hot path"
+	s += fmt.Sprintln(v) // want "fmt.Sprintln in hot path"
+	return s
+}
+
+// concatInLoop allocates a fresh string per iteration.
+//
+//lint:hotpath
+func concatInLoop(names []string) string {
+	out := ""
+	for _, n := range names {
+		out = out + "," + n // want "string concatenation inside a loop in hot path concatInLoop"
+	}
+	return out
+}
+
+// plusAssignInLoop is the same allocation spelled as +=.
+//
+//lint:hotpath
+func plusAssignInLoop(names []string) string {
+	var out string
+	for _, n := range names {
+		out += n // want "string .= inside a loop in hot path plusAssignInLoop"
+	}
+	return out
+}
+
+// appendColdSlice grows a never-preallocated local a doubling at a time.
+//
+//lint:hotpath
+func appendColdSlice(n int) []int {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // want "append to acc inside a loop in hot path appendColdSlice"
+	}
+	return acc
+}
+
+// appendEmptyLiteral: `x := []T{}` and `make([]T, 0)` are cold too.
+//
+//lint:hotpath
+func appendEmptyLiteral(n int) []int {
+	acc := []int{}
+	more := make([]int, 0)
+	for i := 0; i < n; i++ {
+		acc = append(acc, i)     // want "append to acc inside a loop"
+		more = append(more, i*2) // want "append to more inside a loop"
+	}
+	return append(acc, more...)
+}
+
+// captureLoopVar forces a per-iteration heap allocation for the closure.
+//
+//lint:hotpath
+func captureLoopVar(fns []func(int), xs []int) {
+	for _, x := range xs {
+		f := func(scale int) { _ = x * scale } // want "closure in hot path captureLoopVar captures loop variable x"
+		f(2)
+	}
+	for i := 0; i < len(xs); i++ {
+		fns = append(fns, func(int) { _ = xs[i] }) // want "captures loop variable i"
+	}
+}

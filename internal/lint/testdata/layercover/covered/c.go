@@ -1,0 +1,8 @@
+// Package covered is layercover testdata; the harness checks it under
+// taopt/internal/core, a tree DefaultConfig governs, so the guard stays
+// silent — and again under taopt/internal/bus/wire to show subtree
+// inheritance from an enclosing rule counts as coverage.
+package covered
+
+// Value keeps the package non-empty.
+const Value = 1

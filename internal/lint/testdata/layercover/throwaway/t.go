@@ -1,0 +1,8 @@
+// Package throwaway is layercover testdata; the harness checks it under the
+// synthetic import path taopt/internal/throwaway, a tree DefaultConfig has
+// no layer rule for — exactly the "new package ships unconstrained" drift
+// the guard exists to stop.
+package throwaway // want "package taopt/internal/throwaway has no buslayer layering rule"
+
+// Value keeps the package non-empty.
+const Value = 1

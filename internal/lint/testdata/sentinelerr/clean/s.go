@@ -1,0 +1,46 @@
+// Package clean is sentinelerr testdata; nothing here compares a module
+// sentinel by identity, so the analyzer must stay silent.
+package clean
+
+import (
+	"errors"
+	"io"
+
+	"taopt/internal/bus"
+)
+
+// ErrBoom is a module-internal sentinel.
+var ErrBoom = errors.New("clean: boom")
+
+func errorsIs(err error) bool {
+	return errors.Is(err, ErrBoom) || errors.Is(err, bus.ErrTimeout)
+}
+
+// err == io.EOF is the blessed idiom of every decode loop here: stdlib
+// sentinels never cross the wire codec, so identity is safe.
+func stdlibSentinel(err error) bool {
+	return err == io.EOF || err != io.ErrUnexpectedEOF
+}
+
+func nilComparison(err error) bool {
+	return err == nil
+}
+
+// A local variable that happens to follow the Err* naming convention is not
+// a package-level sentinel.
+func localErrVar(err error) bool {
+	ErrLocal := errors.New("local")
+	return err == ErrLocal
+}
+
+// A package-level Err*-named non-error value is out of scope too.
+var ErrCount = 3
+
+func notAnError(n int) bool {
+	return n == ErrCount
+}
+
+func justified(err error) bool {
+	//lint:allow sentinelerr "inline-transport unit helper; this comparison never sees the wire codec"
+	return err == ErrBoom
+}

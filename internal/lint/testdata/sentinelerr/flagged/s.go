@@ -1,0 +1,54 @@
+// Package flagged is sentinelerr testdata; the harness checks it under the
+// synthetic import path taopt/internal/core so its local Err* sentinels are
+// module-internal. Every identity comparison below breaks on the framed
+// transport, where the codec rebuilds errors by wrapping the sentinel.
+package flagged
+
+import (
+	"errors"
+
+	"taopt/internal/bus"
+)
+
+// ErrBoom is a module-internal sentinel in the repo's Err* convention.
+var ErrBoom = errors.New("flagged: boom")
+
+// ErrStall is a second sentinel for the switch case below.
+var ErrStall = errors.New("flagged: stall")
+
+func eq(err error) bool {
+	return err == ErrBoom // want "ErrBoom compared with ==.*use errors.Is.err, ErrBoom."
+}
+
+func neq(err error) bool {
+	return err != ErrBoom // want "ErrBoom compared with !="
+}
+
+func reversed(err error) bool {
+	return ErrBoom == err // want "ErrBoom compared with =="
+}
+
+func parenthesised(err error) bool {
+	return err == (ErrBoom) // want "ErrBoom compared with =="
+}
+
+func switchCase(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrBoom: // want "switch case compares against ErrBoom by identity"
+		return "boom"
+	case ErrStall: // want "switch case compares against ErrStall by identity"
+		return "stall"
+	}
+	return "other"
+}
+
+func crossPackage(err error) bool {
+	return err == bus.ErrTimeout // want "bus.ErrTimeout compared with ==.*errors.Is.err, bus.ErrTimeout."
+}
+
+func unjustified(err error) bool {
+	//lint:allow sentinelerr // want "malformed or unjustified"
+	return err == ErrBoom // want "ErrBoom compared with =="
+}

@@ -321,6 +321,9 @@ func shortSetting(s harness.Setting) string {
 		return "TaOPT(D)"
 	case harness.TaOPTResource:
 		return "TaOPT(R)"
+	case harness.SingleLong, harness.ActivityPartition, harness.PATSMasterSlave:
+		// The comparison baselines have no abbreviated form.
+		return s.String()
 	default:
 		return s.String()
 	}

@@ -167,7 +167,7 @@ func compileFaultBody(name string, body map[string]json.RawMessage, path string)
 					event.Delay = seconds(*ev.DelaySec)
 				}
 			}
-		default:
+		case faults.NetworkLoss:
 			if ev.DelaySec != nil {
 				issues = append(issues, Issue{elemPath + ".delaySec", fmt.Sprintf("only valid for %q windows", faults.BatteryLow)})
 			}

@@ -396,6 +396,8 @@ func (w *Writer) header(h Header) {
 }
 
 // Event appends one UI transition event (ev.Instance names its instance).
+//
+//lint:hotpath
 func (w *Writer) Event(ev trace.Event) {
 	if w.err != nil {
 		return
@@ -425,6 +427,8 @@ func (w *Writer) Event(ev trace.Event) {
 }
 
 // Sample appends one timeline sample point.
+//
+//lint:hotpath
 func (w *Writer) Sample(s Sample) {
 	if w.err != nil {
 		return
@@ -458,6 +462,8 @@ const (
 )
 
 // Decision appends one coordinator decision-log entry.
+//
+//lint:hotpath
 func (w *Writer) Decision(d obs.Decision) {
 	if w.err != nil {
 		return

@@ -72,6 +72,8 @@ func (r *Reader) Header() Header { return r.hdr }
 
 // Next returns the next record, or io.EOF at a clean end of stream (a chunk
 // boundary). Errors latch: after a failure every later call returns it.
+//
+//lint:hotpath
 func (r *Reader) Next() (Record, error) {
 	for {
 		if r.err != nil {
@@ -291,6 +293,7 @@ func (r *Reader) header() Header {
 	return h
 }
 
+//lint:hotpath
 func (r *Reader) event() trace.Event {
 	inst := int(r.uvarint())
 	at := r.lastEventAt[inst] + r.varint()
@@ -313,6 +316,7 @@ func (r *Reader) event() trace.Event {
 	}
 }
 
+//lint:hotpath
 func (r *Reader) sample() Sample {
 	s := Sample{}
 	s.WallNS = r.lastWall + r.varint()
@@ -328,6 +332,7 @@ func (r *Reader) sample() Sample {
 	return s
 }
 
+//lint:hotpath
 func (r *Reader) decision() obs.Decision {
 	d := obs.Decision{}
 	d.AtNS = r.lastDecAt + r.varint()
