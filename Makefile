@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-json lint-allows vet bench bench-go fuzz scenario-hashes corpus-golden check
+.PHONY: build test race lint lint-json lint-allows vet bench bench-go fuzz scenario-hashes corpus-golden service-e2e check
 
 build:
 	$(GO) build ./...
@@ -52,12 +52,19 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSpaceTracker -fuzztime 10s
 	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzScenarioDecode -fuzztime 10s
 	$(GO) test ./internal/export -run '^$$' -fuzz FuzzTraceBinCodec -fuzztime 10s
+	$(GO) test ./internal/service -run '^$$' -fuzz FuzzServiceSubmit -fuzztime 10s
 
 # corpus-golden regenerates the corpus-analytics golden (the rendered
 # tracetool-corpus output over the pinned 24-run seed grid); run it after a
 # deliberate change to the binary codec or the corpus renderer.
 corpus-golden:
 	$(GO) test ./internal/corpus -run TestCorpusGolden -update
+
+# service-e2e boots taoptd on a temp data dir and proves the cache contract
+# over real HTTP: served export == offline taopt export byte-for-byte, a
+# renamed resubmit is a cache hit, and the hit survives a service restart.
+service-e2e:
+	./scripts/service-e2e.sh
 
 # scenario-hashes regenerates the canonical-hash manifest the CI
 # scenario-stability step diffs against; run it after deliberately editing

@@ -120,6 +120,15 @@ func compileCmd(path string) {
 		cc := c.Campaign
 		fmt.Printf("grid:   %d catalog + %d inline apps × %d tools × %d settings, %d fault variants\n",
 			len(cc.Apps), len(cc.InlineApps), len(cc.Tools), len(cc.Settings), len(cc.FaultGrid))
+	case c.Run != nil:
+		rs := c.Run
+		appLabel := rs.AppName
+		if rs.App != nil {
+			appLabel = rs.App.Spec.Name + " (inline)"
+		}
+		fmt.Printf("run:    %s × %s × %s, seed %d, faults %v\n",
+			appLabel, rs.Tool, rs.Setting, rs.Seed, rs.Faults != nil)
+		fmt.Printf("key:    %s\n", rs.ConfigHash)
 	}
 }
 

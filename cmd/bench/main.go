@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 	"taopt/internal/cli"
 	"taopt/internal/export"
 	"taopt/internal/harness"
+	"taopt/internal/service"
 	"taopt/internal/sim"
 	"taopt/internal/trace"
 )
@@ -67,6 +69,19 @@ type codecStats struct {
 	DecodeSpeedup float64 `json:"decode_speedup_vs_json"`
 }
 
+// serviceStats measures the campaign service's cache path end to end through
+// the HTTP handler: the wall cost of the first (computing) submit of a run
+// document versus the steady-state throughput of re-submitting it and
+// fetching its export from the store.
+type serviceStats struct {
+	ComputeWallNS int64   `json:"compute_wall_ns"`
+	Hits          int     `json:"hits"`
+	HitsPerSec    float64 `json:"hits_per_sec"`
+	ExportBytes   int     `json:"export_bytes"`
+	// HitSpeedup is the compute wall time over the mean served-hit time.
+	HitSpeedup float64 `json:"hit_speedup_vs_compute"`
+}
+
 type report struct {
 	Smoke          bool         `json:"smoke"`
 	App            string       `json:"app"`
@@ -77,6 +92,7 @@ type report struct {
 	ObserveSpeedup float64      `json:"observe_speedup"`
 	Fleet          []fleetStats `json:"fleet"`
 	TraceCodec     codecStats   `json:"trace_codec"`
+	Service        serviceStats `json:"service"`
 }
 
 // entry is one revision's measurement in the trajectory.
@@ -141,6 +157,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  encode %.2e events/sec (%.1fx JSON), decode %.2e events/sec (%.1fx JSON)\n",
 		rep.TraceCodec.BinEncodeEventsPerSec, rep.TraceCodec.EncodeSpeedup,
 		rep.TraceCodec.BinDecodeEventsPerSec, rep.TraceCodec.DecodeSpeedup)
+
+	hits := 500
+	if *smoke {
+		hits = 100
+	}
+	rep.Service = measureService(minutes, hits)
+	fmt.Fprintf(os.Stderr, "service cache: compute %.2fs, then %d hits at %.0f hits/sec (%.0fx compute)\n",
+		float64(rep.Service.ComputeWallNS)/1e9, rep.Service.Hits,
+		rep.Service.HitsPerSec, rep.Service.HitSpeedup)
 
 	traj := loadTrajectory(*out)
 	traj.upsert(entry{SHA: *sha, Report: rep})
@@ -296,6 +321,61 @@ func measureCodec(minutes sim.Duration, iters int) codecStats {
 	cs.EncodeSpeedup = cs.BinEncodeEventsPerSec / cs.JSONEncodeEventsPerSec
 	cs.DecodeSpeedup = cs.BinDecodeEventsPerSec / cs.JSONDecodeEventsPerSec
 	return cs
+}
+
+// measureService stands up the campaign service over an in-memory store,
+// pays for one real compute of a run document, then hammers the cache path:
+// each hit is a full HTTP round trip — re-submit the (renamed) document with
+// ?wait=1, then fetch its export — so the figure is end-to-end serving
+// throughput, not a map lookup.
+func measureService(minutes sim.Duration, hits int) serviceStats {
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer svc.Close()
+	handler := service.NewHandler(svc)
+	doc := func(name string) string {
+		return fmt.Sprintf(`{"kind": "run", "name": %q, "run": {
+	"app": "Filters For Selfie", "tool": "monkey", "setting": "taopt-duration",
+	"durationMin": %g, "seed": 2}}`, name, float64(minutes)/60e9)
+	}
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/runs?wait=1", strings.NewReader(body))
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			fatalf("service submit: status %d: %s", rw.Code, rw.Body.String())
+		}
+		return rw
+	}
+	get := func(target string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", target, nil)
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			fatalf("service GET %s: status %d: %s", target, rw.Code, rw.Body.String())
+		}
+		return rw
+	}
+
+	sw := cli.NewStopwatch()
+	first := post(doc("bench: compute"))
+	st := serviceStats{ComputeWallNS: sw.ElapsedNS(), Hits: hits}
+	st.ExportBytes = get("/v1/runs/" + first.Result().Header.Get("X-Taopt-Run-Id") + "/export").Body.Len()
+
+	sw = cli.NewStopwatch()
+	for i := 0; i < hits; i++ {
+		res := post(doc(fmt.Sprintf("bench: hit %d", i)))
+		if res.Result().Header.Get("X-Taopt-Cache") != "hit" {
+			fatalf("service resubmit missed the cache")
+		}
+		get("/v1/runs/" + res.Result().Header.Get("X-Taopt-Run-Id") + "/export")
+	}
+	elapsed := sw.ElapsedNS()
+	st.HitsPerSec = float64(hits) / (float64(elapsed) / 1e9)
+	st.HitSpeedup = float64(st.ComputeWallNS) / (float64(elapsed) / float64(hits))
+	return st
 }
 
 // measureFleet prefetches a small campaign grid on a pool of the given width

@@ -204,6 +204,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", *scenFile, err)
 			os.Exit(1)
 		}
+		// To stderr with the progress lines: the document hash correlates this
+		// sweep with exports and service cache keys without perturbing the
+		// byte-stable stdout reports.
+		fmt.Fprintf(os.Stderr, "scenario: %s hash=%s\n", *scenFile, scCampaign.Hash)
 	}
 
 	cfg := harness.CampaignConfig{

@@ -17,6 +17,7 @@ import (
 	"flag"
 
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -240,34 +241,7 @@ func main() {
 		fmt.Printf("chrome trace:   %s (%d events)\n", *traceOut, tr.Len())
 	}
 
-	fmt.Printf("app:            %s (%d methods, %d screens)\n", aut.Name, aut.MethodCount(), len(aut.Screens))
-	fmt.Printf("tool:           %s\n", *tool)
-	fmt.Printf("setting:        %s\n", st)
-	fmt.Printf("wall used:      %v\n", res.WallUsed)
-	fmt.Printf("machine used:   %v\n", res.MachineUsed)
-	fmt.Printf("instances:      %d allocations\n", len(res.Instances))
-	fmt.Printf("coverage:       %d methods (%.1f%% of universe)\n",
-		res.Union.Count(), 100*float64(res.Union.Count())/float64(aut.MethodCount()))
-	fmt.Printf("unique crashes: %d\n", res.UniqueCrashes)
-	fmt.Printf("distinct UIs:   %d (avg %.1f occurrences each)\n", len(res.UIOccurrences), res.UIOccurrenceAverage())
-	if n := len(res.Timeline); n > 0 && res.Timeline[n-1].AJS > 0 {
-		fmt.Printf("final AJS:      %.3f\n", res.Timeline[n-1].AJS)
-	}
-	if len(res.Subspaces) > 0 {
-		fmt.Printf("subspaces:      %d identified\n", len(res.Subspaces))
-	}
-	if res.CoordinatorStats != nil {
-		fmt.Printf("coordinator:    %+v\n", *res.CoordinatorStats)
-	}
-	if res.Wire != nil {
-		fmt.Printf("wire frames:    %d up / %d down (%d + %d bytes, %d timeouts)\n",
-			res.Wire.FramesUp, res.Wire.FramesDown, res.Wire.BytesUp, res.Wire.BytesDown, res.Wire.Timeouts)
-	}
-	if res.Transport.Injected() > 0 {
-		fmt.Printf("transport:      %+v\n", res.Transport)
-		fmt.Printf("failed leases:  %d (orphaned subspaces pending: %d)\n",
-			res.FailedInstances, res.OrphansPending)
-	}
+	printSummary(os.Stdout, aut, *tool, st, res)
 	if *telemetry {
 		if err := report.Telemetry(os.Stdout, res); err != nil {
 			fatalf("%v", err)
@@ -334,3 +308,41 @@ func main() {
 }
 
 var fatalf = cli.Fatalf("taopt")
+
+// printSummary writes the run's headline block. The scenario hash line
+// repeats export v5's scenario_hash (and the service cache key's app
+// component) so a terminal run correlates with exported results and taoptd
+// cells; it is omitted for code-built apps, which have no document to name.
+func printSummary(w io.Writer, aut *app.App, tool string, st harness.Setting, res *harness.RunResult) {
+	fmt.Fprintf(w, "app:            %s (%d methods, %d screens)\n", aut.Name, aut.MethodCount(), len(aut.Screens))
+	fmt.Fprintf(w, "tool:           %s\n", tool)
+	fmt.Fprintf(w, "setting:        %s\n", st)
+	if h := res.Config.ScenarioHash; h != "" {
+		fmt.Fprintf(w, "scenario hash:  %s\n", h)
+	}
+	fmt.Fprintf(w, "wall used:      %v\n", res.WallUsed)
+	fmt.Fprintf(w, "machine used:   %v\n", res.MachineUsed)
+	fmt.Fprintf(w, "instances:      %d allocations\n", len(res.Instances))
+	fmt.Fprintf(w, "coverage:       %d methods (%.1f%% of universe)\n",
+		res.Union.Count(), 100*float64(res.Union.Count())/float64(aut.MethodCount()))
+	fmt.Fprintf(w, "unique crashes: %d\n", res.UniqueCrashes)
+	fmt.Fprintf(w, "distinct UIs:   %d (avg %.1f occurrences each)\n", len(res.UIOccurrences), res.UIOccurrenceAverage())
+	if n := len(res.Timeline); n > 0 && res.Timeline[n-1].AJS > 0 {
+		fmt.Fprintf(w, "final AJS:      %.3f\n", res.Timeline[n-1].AJS)
+	}
+	if len(res.Subspaces) > 0 {
+		fmt.Fprintf(w, "subspaces:      %d identified\n", len(res.Subspaces))
+	}
+	if res.CoordinatorStats != nil {
+		fmt.Fprintf(w, "coordinator:    %+v\n", *res.CoordinatorStats)
+	}
+	if res.Wire != nil {
+		fmt.Fprintf(w, "wire frames:    %d up / %d down (%d + %d bytes, %d timeouts)\n",
+			res.Wire.FramesUp, res.Wire.FramesDown, res.Wire.BytesUp, res.Wire.BytesDown, res.Wire.Timeouts)
+	}
+	if res.Transport.Injected() > 0 {
+		fmt.Fprintf(w, "transport:      %+v\n", res.Transport)
+		fmt.Fprintf(w, "failed leases:  %d (orphaned subspaces pending: %d)\n",
+			res.FailedInstances, res.OrphansPending)
+	}
+}

@@ -35,6 +35,11 @@ func (k CellKey) String() string {
 type CellSummary struct {
 	Key CellKey
 
+	// Hash is the canonical scenario hash of the cell's app document (the
+	// same value export v5 stamps as scenario_hash), surfaced so progress
+	// output correlates with service cache keys and exported results.
+	Hash string
+
 	// Coverage.
 	Union        int
 	UnionSet     *coverage.Set
@@ -249,7 +254,9 @@ func (c *Campaign) computeCell(key CellKey) (*CellSummary, error) {
 	if err != nil {
 		return nil, err
 	}
-	return summarize(key, res, c.cfg.Instances), nil
+	s := summarize(key, res, c.cfg.Instances)
+	s.Hash = hash
+	return s, nil
 }
 
 // CellTraceName is the deterministic binary-trace filename of one cell run:
@@ -263,8 +270,8 @@ func CellTraceName(key CellKey, seed int64) string {
 
 func (c *Campaign) logProgress(s *CellSummary) {
 	if c.cfg.Progress != nil {
-		fmt.Fprintf(c.cfg.Progress, "ran %-60s coverage=%-7d crashes=%-3d ui-overlap=%.1f\n",
-			s.Key.String(), s.Union, s.UniqueCrashes, s.UIOccAverage)
+		fmt.Fprintf(c.cfg.Progress, "ran %-60s coverage=%-7d crashes=%-3d ui-overlap=%.1f hash=%.12s\n",
+			s.Key.String(), s.Union, s.UniqueCrashes, s.UIOccAverage, s.Hash)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"taopt/internal/app"
 	"taopt/internal/apps"
 	"taopt/internal/scenario"
+	"taopt/internal/tools"
 )
 
 // ScenarioApp is an app defined inline by a campaign scenario document: the
@@ -58,6 +59,49 @@ func FromScenario(sc *scenario.Campaign) (CampaignConfig, error) {
 	}
 	if sc.Faults != nil {
 		f := *sc.Faults
+		cfg.Faults = &f
+	}
+	return cfg, nil
+}
+
+// FromRunScenario lowers a compiled run scenario onto a RunConfig: the
+// campaign service's submit path. The app resolves like a campaign cell —
+// generated from the inline spec, or loaded from the catalog — and the
+// export's scenario_hash names the app document either way, so a service run
+// is indistinguishable from the equivalent `taopt -scenario` invocation.
+// Absent scenario fields stay zero for the usual Run defaults; the tool and
+// setting are validated here so a bad submit fails before it is queued.
+func FromRunScenario(rs *scenario.RunSpec) (RunConfig, error) {
+	cfg := RunConfig{
+		Tool:          rs.Tool,
+		Instances:     rs.Instances,
+		Duration:      rs.Duration,
+		MachineBudget: rs.MachineBudget,
+		SampleEvery:   rs.SampleEvery,
+		Seed:          rs.Seed,
+		Telemetry:     rs.Telemetry,
+	}
+	if rs.App != nil {
+		cfg.App = app.Generate(rs.App.Spec)
+		cfg.ScenarioHash = rs.App.Hash
+	} else {
+		aut, err := apps.Load(rs.AppName)
+		if err != nil {
+			return RunConfig{}, err
+		}
+		cfg.App = aut
+		cfg.ScenarioHash = apps.Hash(rs.AppName)
+	}
+	if _, err := tools.New(rs.Tool, 0); err != nil {
+		return RunConfig{}, err
+	}
+	setting, err := ParseSetting(rs.Setting)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	cfg.Setting = setting
+	if rs.Faults != nil {
+		f := *rs.Faults
 		cfg.Faults = &f
 	}
 	return cfg, nil

@@ -211,6 +211,14 @@ func DefaultConfig() *Config {
 				Hint: "report renders experiment tables from harness results; it never reaches below the harness",
 			},
 			{
+				Pkg: "taopt/internal/service",
+				Allow: []string{
+					"taopt/internal/export", "taopt/internal/harness",
+					"taopt/internal/report", "taopt/internal/scenario",
+				},
+				Hint: "the campaign service queues scenario runs onto the harness and serves export/report renderings; it must never reach below the harness seam — the deterministic core stays untouched behind the API",
+			},
+			{
 				Pkg:   "taopt/internal/lint",
 				Allow: nil,
 				Hint:  "the lint suite analyzes the module from outside; it must not import the code it checks",

@@ -201,13 +201,21 @@ func (l *Loader) importPkg(path string) (*types.Package, error) {
 	if l.checking[path] {
 		return nil, fmt.Errorf("import cycle through %s", path)
 	}
+	// Stdlib dependencies vendored under GOROOT (net/http's golang.org/x/...
+	// imports, say) are listed under a vendor/ prefix while the importing
+	// source names them unvendored; accept either key.
 	m, ok := l.metas[path]
+	if !ok {
+		m, ok = l.metas["vendor/"+path]
+	}
 	if !ok {
 		if _, err := l.goList(path); err != nil {
 			return nil, err
 		}
 		if m, ok = l.metas[path]; !ok {
-			return nil, fmt.Errorf("no metadata for %s", path)
+			if m, ok = l.metas["vendor/"+path]; !ok {
+				return nil, fmt.Errorf("no metadata for %s", path)
+			}
 		}
 	}
 	if m.Error != nil {

@@ -35,6 +35,29 @@ func CanonicalHash(data []byte) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// CanonicalHashExcluding is CanonicalHash with one top-level member removed
+// before hashing. The campaign service keys its run cache with the document's
+// hash excluding "name": renaming a run scenario does not change what it
+// computes, so two documents differing only in name share one cached cell.
+func CanonicalHashExcluding(data []byte, member string) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return "", fmt.Errorf("scenario: hashing document: %w", err)
+	}
+	if dec.More() {
+		return "", fmt.Errorf("scenario: hashing document: trailing data")
+	}
+	if m, ok := v.(map[string]any); ok {
+		delete(m, member)
+	}
+	var buf bytes.Buffer
+	writeCanonical(&buf, v)
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // writeCanonical re-encodes a decoded JSON value with sorted object keys and
 // no whitespace. The input comes from encoding/json with UseNumber, so the
 // only possible types are the five cases below plus nil.

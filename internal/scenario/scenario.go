@@ -6,7 +6,7 @@
 //
 //	{
 //	  "schemaVersion": 1,
-//	  "kind": "app" | "fault-plan" | "campaign",
+//	  "kind": "app" | "fault-plan" | "campaign" | "run",
 //	  "name": "...",
 //	  "<kind's payload key>": { ... }
 //	}
@@ -49,6 +49,7 @@ const (
 	KindApp       = "app"
 	KindFaultPlan = "fault-plan"
 	KindCampaign  = "campaign"
+	KindRun       = "run"
 )
 
 // bodyKey returns the envelope key holding a kind's payload ("" for an
@@ -61,6 +62,8 @@ func bodyKey(kind string) string {
 		return "faults"
 	case KindCampaign:
 		return "campaign"
+	case KindRun:
+		return "run"
 	}
 	return ""
 }
@@ -140,7 +143,7 @@ func Decode(data []byte) (*Document, error) {
 	} else if err := json.Unmarshal(raw, &doc.Kind); err != nil {
 		issues = append(issues, Issue{"$.kind", "want a string"})
 	} else if bodyKey(doc.Kind) == "" {
-		issues = append(issues, Issue{"$.kind", fmt.Sprintf("unknown kind %q (want %s, %s, or %s)", doc.Kind, KindApp, KindFaultPlan, KindCampaign)})
+		issues = append(issues, Issue{"$.kind", fmt.Sprintf("unknown kind %q (want %s, %s, %s, or %s)", doc.Kind, KindApp, KindFaultPlan, KindCampaign, KindRun)})
 		doc.Kind = ""
 	}
 	if raw, ok := top["name"]; !ok {
@@ -173,7 +176,7 @@ func Decode(data []byte) (*Document, error) {
 }
 
 // Compiled is the result of compiling one scenario document: exactly one of
-// App, FaultPlan and Campaign is non-nil, matching Kind.
+// App, FaultPlan, Campaign and Run is non-nil, matching Kind.
 type Compiled struct {
 	Kind    string
 	Version int
@@ -184,6 +187,7 @@ type Compiled struct {
 	App       *App
 	FaultPlan *FaultPlan
 	Campaign  *Campaign
+	Run       *RunSpec
 }
 
 // Compile decodes data and runs the registered compiler for its (kind,
@@ -211,6 +215,16 @@ func Compile(data []byte) (*Compiled, error) {
 		out.FaultPlan = t
 	case *Campaign:
 		out.Campaign = t
+	case *RunSpec:
+		out.Run = t
+		// The cache key of the campaign service: the document's canonical
+		// hash with the name removed, so renaming a run does not defeat the
+		// run store. Stamped here because only Compile holds the raw bytes.
+		hash, err := CanonicalHashExcluding(data, "name")
+		if err != nil {
+			return nil, err
+		}
+		t.ConfigHash = hash
 	default:
 		return nil, fmt.Errorf("scenario: compiler for kind %q returned unexpected %T", doc.Kind, v)
 	}

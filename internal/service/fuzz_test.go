@@ -1,0 +1,72 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"taopt/internal/scenario"
+	"taopt/internal/service"
+)
+
+// FuzzServiceSubmit hammers the submit endpoint with arbitrary bytes: the
+// handler must never panic, and every non-2xx response must be a well-formed
+// error envelope with a non-empty code — the contract API clients parse.
+func FuzzServiceSubmit(f *testing.F) {
+	seeds := []string{
+		goldenDoc,
+		`{"kind": "run", "name": "inline", "run": {
+			"inlineApp": {"name": "Tiny", "app": {"subspaces": 4}},
+			"tool": "monkey", "setting": "baseline"}}`,
+		`{"kind": "run", "name": "bad", "run": {"setting": "warp", "durationMin": -3}}`,
+		`{"kind": "app", "name": "Tiny", "app": {"subspaces": 4}}`,
+		`{"kind": "run",`,
+		`{"schemaVersion": 99, "kind": "run", "name": "v99", "run": {}}`,
+		`null`,
+		``,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		svc, err := service.New(service.Config{Exec: func(rs *scenario.RunSpec) (service.Cell, error) {
+			return service.Cell{Export: []byte("e"), Trace: []byte("t")}, nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		handler := service.NewHandler(svc)
+
+		req := httptest.NewRequest("POST", "/v1/runs?wait=1", bytes.NewReader(data))
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, req)
+
+		switch rw.Code {
+		case http.StatusOK, http.StatusAccepted:
+			var resp struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil || resp.ID == "" || resp.State == "" {
+				t.Fatalf("2xx without a well-formed submit response: %v\n%s", err, rw.Body.String())
+			}
+		default:
+			var env struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &env); err != nil {
+				t.Fatalf("status %d without a parseable envelope: %v\n%s", rw.Code, err, rw.Body.String())
+			}
+			if env.Error.Code == "" {
+				t.Fatalf("status %d envelope lacks a code:\n%s", rw.Code, rw.Body.String())
+			}
+		}
+	})
+}
